@@ -1,0 +1,224 @@
+// Command bcachesim runs one benchmark against one level-one cache
+// configuration and reports miss rates, PD statistics, and (with -ipc)
+// whole-processor IPC and hierarchy traffic.
+//
+// Examples:
+//
+//	bcachesim -bench equake -cache bcache -mf 8 -bas 8
+//	bcachesim -bench gcc -cache 4way -side i
+//	bcachesim -bench mcf -cache victim -entries 16 -ipc
+//	bcachesim -trace run.bct -cache bcache
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"bcache/internal/altcache"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/cpu"
+	"bcache/internal/hier"
+	"bcache/internal/rng"
+	"bcache/internal/trace"
+	"bcache/internal/victim"
+	"bcache/internal/workload"
+)
+
+func main() {
+	var (
+		benchName = flag.String("bench", "equake", "benchmark profile name (see -list)")
+		tracePath = flag.String("trace", "", "replay a trace file (.bct v1/v2 or Dinero .din) instead of a benchmark")
+		profile   = flag.String("profile", "", "load a custom workload profile from a JSON file")
+		list      = flag.Bool("list", false, "list benchmark names and exit")
+		kind      = flag.String("cache", "bcache", "cache type: dm | Nway | bcache | victim | column | skewed | hac | agac | psa | pam | wayhalt")
+		size      = flag.Int("size", 16*1024, "L1 cache size in bytes")
+		line      = flag.Int("line", 32, "line size in bytes")
+		mf        = flag.Int("mf", 8, "B-Cache mapping factor")
+		bas       = flag.Int("bas", 8, "B-Cache associativity")
+		policy    = flag.String("policy", "lru", "B-Cache replacement policy: lru | random")
+		entries   = flag.Int("entries", 16, "victim buffer entries")
+		n         = flag.Uint64("n", 2_000_000, "instructions to simulate")
+		side      = flag.String("side", "d", "cache side for miss-rate mode: d | i")
+		ipc       = flag.Bool("ipc", false, "run the full CPU model (both L1s of the chosen type)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range workload.All() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Suite)
+		}
+		for _, m := range workload.Micros() {
+			fmt.Printf("%-14s micro-benchmark\n", "micro-"+m)
+		}
+		return
+	}
+
+	build := func() (cache.Cache, error) {
+		return buildCache(*kind, *size, *line, *mf, *bas, *policy, *entries)
+	}
+
+	stream, err := openStream(*benchName, *tracePath, *profile)
+	if err != nil {
+		fail(err)
+	}
+
+	if *ipc {
+		ic, err := build()
+		if err != nil {
+			fail(err)
+		}
+		dc, err := build()
+		if err != nil {
+			fail(err)
+		}
+		h, err := hier.New(ic, dc, hier.Defaults())
+		if err != nil {
+			fail(err)
+		}
+		res, err := cpu.Run(stream, h, cpu.Defaults(), *n)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("config      : %s (both L1s)\n", ic.Name())
+		fmt.Printf("instructions: %d\n", res.Instructions)
+		fmt.Printf("cycles      : %d\n", res.Cycles)
+		fmt.Printf("IPC         : %.4f\n", res.IPC())
+		fmt.Printf("I$          : %v\n", ic.Stats())
+		fmt.Printf("D$          : %v\n", dc.Stats())
+		fmt.Printf("L2          : %v\n", h.L2.Stats())
+		fmt.Printf("memory      : %d reads, %d writes\n", h.MemAccesses, h.MemWrites)
+		printPD(ic, "I$")
+		printPD(dc, "D$")
+		return
+	}
+
+	c, err := build()
+	if err != nil {
+		fail(err)
+	}
+	lineMask := ^uint64(uint64(*line) - 1)
+	var curLine uint64 = ^uint64(0)
+	var count uint64
+	for count < *n {
+		rec, ok := stream.Next()
+		if !ok {
+			break
+		}
+		count++
+		switch *side {
+		case "d":
+			if rec.Kind.IsMem() {
+				c.Access(rec.Mem, rec.Kind == trace.Store)
+			}
+		case "i":
+			if l := uint64(rec.PC) & lineMask; l != curLine {
+				curLine = l
+				c.Access(rec.PC, false)
+			}
+		default:
+			fail(fmt.Errorf("bad -side %q (want d or i)", *side))
+		}
+	}
+	fmt.Printf("config      : %s (%s-side)\n", c.Name(), *side)
+	fmt.Printf("instructions: %d\n", count)
+	fmt.Printf("stats       : %v\n", c.Stats())
+	printPD(c, "PD")
+}
+
+func printPD(c cache.Cache, label string) {
+	if bc, ok := c.(*core.BCache); ok {
+		fmt.Printf("%-12s: decode %s\n", label, bc.Describe())
+		pd := bc.PDStats()
+		fmt.Printf("%-12s: PD hits on miss %d, PD misses %d (hit rate during miss %.1f%%), reprogrammed %d\n",
+			label, pd.MissPDHit, pd.MissPDMiss, 100*pd.HitRateDuringMiss(), pd.Programmed)
+	}
+	if vc, ok := c.(*victim.Cache); ok {
+		fmt.Printf("%-12s: victim buffer hits %d\n", label, vc.BufferHits)
+	}
+}
+
+func openStream(bench, path, profilePath string) (trace.Stream, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(path, ".din") {
+			return trace.NewDineroReader(f), nil
+		}
+		return trace.OpenAny(f)
+	}
+	if profilePath != "" {
+		f, err := os.Open(profilePath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		p, err := workload.ParseJSON(f)
+		if err != nil {
+			return nil, err
+		}
+		return workload.New(p)
+	}
+	if rest, ok := strings.CutPrefix(bench, "micro-"); ok {
+		p, err := workload.Micro(rest)
+		if err != nil {
+			return nil, err
+		}
+		return workload.New(p)
+	}
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	return workload.New(p)
+}
+
+func buildCache(kind string, size, line, mf, bas int, policy string, entries int) (cache.Cache, error) {
+	pol := cache.LRU
+	switch strings.ToLower(policy) {
+	case "lru":
+	case "random":
+		pol = cache.Random
+	default:
+		return nil, fmt.Errorf("bad -policy %q", policy)
+	}
+	switch strings.ToLower(kind) {
+	case "dm":
+		return cache.NewDirectMapped(size, line)
+	case "bcache":
+		return core.New(core.Config{SizeBytes: size, LineBytes: line, MF: mf, BAS: bas, Policy: pol})
+	case "victim":
+		return victim.New(size, line, entries)
+	case "column":
+		return altcache.NewColumn(size, line)
+	case "skewed":
+		return altcache.NewSkewed(size, line, rng.New(1))
+	case "hac":
+		return altcache.NewHAC(size, line)
+	case "agac":
+		return altcache.NewAGAC(size, line, 32, 4096)
+	case "psa":
+		return altcache.NewPSA(size, line, 10)
+	case "pam":
+		return altcache.NewPAM(size, line, 4, 5)
+	case "wayhalt":
+		return altcache.NewWayHalt(size, line, 4, 4)
+	}
+	if ways, ok := strings.CutSuffix(strings.ToLower(kind), "way"); ok {
+		w, err := strconv.Atoi(ways)
+		if err == nil {
+			return cache.NewSetAssoc(size, line, w, cache.LRU, rng.New(1))
+		}
+	}
+	return nil, fmt.Errorf("unknown cache type %q", kind)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bcachesim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,119 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-n instructions] [-size bytes] [-workers n]
+//
+// Without -run, every registered experiment executes in order. Use
+// -list to see the available IDs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"bcache/internal/experiment"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		n       = flag.Uint64("n", 0, "instructions per run (default: experiment default)")
+		size    = flag.Int("size", 0, "L1 size in bytes (default 16384; fig12 manages its own sizes)")
+		workers = flag.Int("workers", 0, "parallel benchmark runs (default GOMAXPROCS)")
+		format  = flag.String("format", "text", "output format: text | csv")
+		outPath = flag.String("o", "", "write output to this file instead of stdout")
+		verify  = flag.Bool("verify", false, "run the reproduction checklist instead of experiments")
+		seeds   = flag.Int("seeds", 0, "replicate miss-rate runs over N workload seeds and average")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	opts := experiment.DefaultOpts()
+	if *n > 0 {
+		opts.Instructions = *n
+	}
+	if *size > 0 {
+		opts.L1Size = *size
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
+	}
+	if *seeds > 0 {
+		opts.Seeds = *seeds
+	}
+
+	if *verify {
+		_, failedChecks, err := experiment.Verify(opts, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if failedChecks > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	var exps []experiment.Experiment
+	if *runIDs == "" {
+		exps = experiment.All()
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			e, err := experiment.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+
+	out := io.Writer(os.Stdout)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = f
+	}
+
+	for _, e := range exps {
+		start := time.Now()
+		tables, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			switch *format {
+			case "text":
+				fmt.Fprintln(out, t.Render())
+			case "csv":
+				if err := t.WriteCSV(out); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+			default:
+				fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+				os.Exit(2)
+			}
+		}
+		if *format == "text" {
+			fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

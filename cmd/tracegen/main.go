@@ -1,0 +1,144 @@
+// Command tracegen writes a synthetic benchmark's instruction trace to a
+// binary file (format documented in internal/trace) or inspects one.
+//
+// Examples:
+//
+//	tracegen -bench gcc -n 1000000 -o gcc.bct
+//	tracegen -info gcc.bct
+//
+// Written traces replay with bcachesim -trace.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bcache/internal/trace"
+	"bcache/internal/workload"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark profile name")
+		n        = flag.Uint64("n", 1_000_000, "instructions to generate")
+		out      = flag.String("o", "", "output trace file (required unless -info)")
+		info     = flag.String("info", "", "print a summary of an existing trace file and exit")
+		compress = flag.Bool("compress", false, "write the delta-compressed v2 format")
+		din      = flag.String("din", "", "convert a Dinero .din trace instead of generating")
+	)
+	flag.Parse()
+
+	if *info != "" {
+		if err := summarize(*info); err != nil {
+			fail(err)
+		}
+		return
+	}
+	if *out == "" {
+		fail(fmt.Errorf("missing -o output path"))
+	}
+	var src trace.Stream
+	what := *bench
+	if *din != "" {
+		f, err := os.Open(*din)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		src = trace.NewDineroReader(f)
+		what = *din
+	} else {
+		p, err := workload.ByName(*bench)
+		if err != nil {
+			fail(err)
+		}
+		g, err := workload.New(p)
+		if err != nil {
+			fail(err)
+		}
+		src = g
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	var w interface {
+		Write(trace.Record) error
+		Close() error
+		Count() uint64
+	}
+	if *compress {
+		w, err = trace.NewCompressedWriter(f)
+	} else {
+		w, err = trace.NewWriter(f)
+	}
+	if err != nil {
+		fail(err)
+	}
+	for i := uint64(0); i < *n; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := w.Write(rec); err != nil {
+			fail(err)
+		}
+	}
+	if dr, ok := src.(*trace.DineroReader); ok && dr.Err() != nil {
+		fail(dr.Err())
+	}
+	if err := w.Close(); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %d records of %s to %s\n", w.Count(), what, *out)
+}
+
+func summarize(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.OpenAny(f)
+	if err != nil {
+		return err
+	}
+	var total, mem, stores, branches, fp uint64
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		total++
+		switch rec.Kind {
+		case trace.Load:
+			mem++
+		case trace.Store:
+			mem++
+			stores++
+		case trace.Branch:
+			branches++
+		case trace.FP:
+			fp++
+		}
+	}
+	if e, ok := r.(interface{ Err() error }); ok && e.Err() != nil {
+		return e.Err()
+	}
+	fmt.Printf("%s: %d records\n", path, total)
+	if total > 0 {
+		fmt.Printf("  memory ops: %d (%.1f%%), stores %d\n", mem, 100*float64(mem)/float64(total), stores)
+		fmt.Printf("  branches  : %d (%.1f%%)\n", branches, 100*float64(branches)/float64(total))
+		fmt.Printf("  fp ops    : %d (%.1f%%)\n", fp, 100*float64(fp)/float64(total))
+	}
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

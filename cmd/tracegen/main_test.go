@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bcache/internal/trace"
+)
+
+func writeTrace(t *testing.T, compress bool) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.bct")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var w interface {
+		Write(trace.Record) error
+		Close() error
+	}
+	if compress {
+		w, err = trace.NewCompressedWriter(f)
+	} else {
+		w, err = trace.NewWriter(f)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{
+		{PC: 4, Kind: trace.Int, Lat: 1},
+		{PC: 8, Kind: trace.Load, Mem: 0x1000, Lat: 1},
+		{PC: 12, Kind: trace.Store, Mem: 0x1008, Lat: 1},
+		{PC: 16, Kind: trace.Branch, Lat: 1},
+		{PC: 20, Kind: trace.FP, Lat: 4},
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSummarizeBothVersions(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		path := writeTrace(t, compress)
+		if err := summarize(path); err != nil {
+			t.Fatalf("compress=%v: %v", compress, err)
+		}
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if err := summarize(filepath.Join(t.TempDir(), "missing.bct")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.bct")
+	if err := os.WriteFile(bad, []byte("NOPE"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := summarize(bad); err == nil {
+		t.Fatal("junk file accepted")
+	}
+}

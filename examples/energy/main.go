@@ -1,0 +1,125 @@
+// Energy runs one benchmark end-to-end — out-of-order core, split L1s,
+// unified L2, main memory — under several L1 organizations and reports
+// IPC, per-access and total memory energy, area, and decoder slack: the
+// whole paper's trade-off on one screen.
+//
+//	go run ./examples/energy [benchmark]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"bcache/internal/area"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/cpu"
+	"bcache/internal/energy"
+	"bcache/internal/hier"
+	"bcache/internal/timing"
+	"bcache/internal/victim"
+	"bcache/internal/workload"
+)
+
+const (
+	l1Size = 16 * 1024
+	l1Line = 32
+	instrs = 2_000_000
+)
+
+type config struct {
+	name string
+	kind energy.Kind
+	new  func() (cache.Cache, error)
+}
+
+func main() {
+	bench := "crafty"
+	if len(os.Args) > 1 {
+		bench = os.Args[1]
+	}
+	profile, err := workload.ByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	configs := []config{
+		{"direct-mapped", energy.DirectMapped, func() (cache.Cache, error) {
+			return cache.NewDirectMapped(l1Size, l1Line)
+		}},
+		{"8-way", energy.Way8, func() (cache.Cache, error) {
+			return cache.NewSetAssoc(l1Size, l1Line, 8, cache.LRU, nil)
+		}},
+		{"victim16", energy.VictimDM, func() (cache.Cache, error) {
+			return victim.New(l1Size, l1Line, 16)
+		}},
+		{"B-Cache", energy.BCache, func() (cache.Cache, error) {
+			return core.New(core.Config{SizeBytes: l1Size, LineBytes: l1Line, MF: 8, BAS: 8, Policy: cache.LRU})
+		}},
+	}
+
+	params := energy.Defaults()
+	var baseDyn float64
+	var baseCycles uint64
+	var staticPC float64
+
+	fmt.Printf("%s, %d instructions, Table 4 platform:\n\n", bench, instrs)
+	fmt.Printf("%-14s %8s %10s %12s %12s\n", "L1 config", "IPC", "D$ miss", "energy (µJ)", "vs baseline")
+
+	for i, cfg := range configs {
+		ic, err := cfg.new()
+		if err != nil {
+			log.Fatal(err)
+		}
+		dc, err := cfg.new()
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := hier.New(ic, dc, hier.Defaults())
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := workload.New(profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := cpu.Run(gen, h, cpu.Defaults(), instrs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		counts := energy.Counts{
+			L1Accesses: ic.Stats().Accesses + dc.Stats().Accesses,
+			L1Misses:   ic.Stats().Misses + dc.Stats().Misses,
+			L2Accesses: h.L2.Stats().Accesses,
+			L2Misses:   h.L2.Stats().Misses,
+			Cycles:     res.Cycles,
+		}
+		if bc, ok := dc.(*core.BCache); ok {
+			counts.PDPredictedMisses = bc.PDStats().MissPDMiss
+		}
+		dyn := params.Dynamic(cfg.kind, counts)
+		if i == 0 {
+			baseDyn, baseCycles = dyn, res.Cycles
+			staticPC = params.StaticPerCycle(baseDyn, baseCycles)
+		}
+		tot := params.Total(cfg.kind, counts, staticPC).Total()
+		baseTot := params.Total(energy.DirectMapped, energy.Counts{Cycles: baseCycles}, staticPC).Static + baseDyn
+		fmt.Printf("%-14s %8.3f %9.2f%% %12.1f %11.3fx\n",
+			cfg.name, res.IPC(), 100*dc.Stats().MissRate(), tot/1e6, tot/baseTot)
+	}
+
+	// Static analyses: area and decoder timing.
+	base, _ := area.Baseline(l1Size, l1Line)
+	bcArea, _ := area.BCache(core.Config{SizeBytes: l1Size, LineBytes: l1Line, MF: 8, BAS: 8})
+	fmt.Printf("\nB-Cache area overhead: %.1f%% (paper: 4.3%%)\n", 100*bcArea.OverheadVs(base))
+
+	worst := 1.0
+	for _, r := range timing.Table1(6) {
+		if r.Slack < worst {
+			worst = r.Slack
+		}
+	}
+	fmt.Printf("Worst-case decoder slack at 6 PD bits: %.3f ns (non-negative → "+
+		"no access-time penalty, §5.1)\n", worst)
+}

@@ -1,0 +1,3 @@
+module bcache
+
+go 1.22

@@ -1,0 +1,56 @@
+// Package addr provides the address type and bit-field helpers shared by
+// every cache model in the simulator.
+//
+// The paper assumes 32-bit physical addresses; Addr is a uint64 so the
+// arithmetic never overflows, but workload generators only emit values
+// that fit in 32 bits.
+package addr
+
+import "fmt"
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Bits is the width of the simulated physical address space in bits.
+// The paper's organization (Figure 2) assumes 32-bit addresses.
+const Bits = 32
+
+// Max is the largest representable address.
+const Max Addr = 1<<Bits - 1
+
+// Field extracts width bits of a starting at bit position lo
+// (lo = 0 is the least significant bit).
+func Field(a Addr, lo, width uint) Addr {
+	if width == 0 {
+		return 0
+	}
+	return (a >> lo) & (1<<width - 1)
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v uint64) bool {
+	return v != 0 && v&(v-1) == 0
+}
+
+// Log2 returns log2(v) for a positive power of two v.
+// It panics otherwise: cache geometry is validated at construction time,
+// so a non-power-of-two here is a programming error.
+func Log2(v uint64) uint {
+	if !IsPow2(v) {
+		panic(fmt.Sprintf("addr: Log2 of non-power-of-two %d", v))
+	}
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Align returns a rounded down to a multiple of size (a power of two).
+func Align(a Addr, size uint64) Addr {
+	if !IsPow2(size) {
+		panic(fmt.Sprintf("addr: Align to non-power-of-two %d", size))
+	}
+	return a &^ Addr(size-1)
+}

@@ -1,0 +1,81 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestField(t *testing.T) {
+	tests := []struct {
+		a         Addr
+		lo, width uint
+		want      Addr
+	}{
+		{0xDEADBEEF, 0, 4, 0xF},
+		{0xDEADBEEF, 4, 4, 0xE},
+		{0xDEADBEEF, 0, 32, 0xDEADBEEF},
+		{0xDEADBEEF, 16, 16, 0xDEAD},
+		{0xFF, 0, 0, 0},
+		{0b101100, 2, 3, 0b011},
+	}
+	for _, tt := range tests {
+		if got := Field(tt.a, tt.lo, tt.width); got != tt.want {
+			t.Errorf("Field(%#x, %d, %d) = %#x, want %#x", tt.a, tt.lo, tt.width, got, tt.want)
+		}
+	}
+}
+
+func TestFieldReassembly(t *testing.T) {
+	// Splitting an address into offset/index/tag and reassembling must be
+	// the identity — the decomposition every cache model relies on.
+	f := func(a uint32) bool {
+		const off, idx = 5, 9
+		x := Addr(a)
+		o := Field(x, 0, off)
+		i := Field(x, off, idx)
+		tag := Field(x, off+idx, Bits-off-idx)
+		return o|i<<off|tag<<(off+idx) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 8, 1 << 20, 1 << 63} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 5, 6, 7, 9, 1<<20 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 64; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(1<<%d) = %d", i, got)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Log2(12) did not panic")
+		}
+	}()
+	Log2(12)
+}
+
+func TestAlign(t *testing.T) {
+	if got := Align(0x12345, 32); got != 0x12340 {
+		t.Errorf("Align(0x12345, 32) = %#x", got)
+	}
+	if got := Align(0x12340, 32); got != 0x12340 {
+		t.Errorf("Align(0x12340, 32) = %#x (not idempotent)", got)
+	}
+}

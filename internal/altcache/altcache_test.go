@@ -1,0 +1,167 @@
+package altcache
+
+import (
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+func TestColumnResolvesPairThrash(t *testing.T) {
+	// Two addresses thrashing one DM set hit like a 2-way cache in a
+	// column-associative cache (paper §7.1: "improves the miss rate to a
+	// 2-way cache").
+	c, err := NewColumn(1024, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 10; round++ {
+		for _, a := range []addr.Addr{0, 1024} {
+			r := c.Access(a, false)
+			if round > 0 && !r.Hit {
+				t.Fatalf("round %d: %#x missed", round, a)
+			}
+		}
+	}
+	if c.SecondHits == 0 {
+		t.Fatal("no second-probe hits recorded")
+	}
+}
+
+func TestColumnMatches2WayOnRandomStream(t *testing.T) {
+	c, _ := NewColumn(4096, 32)
+	w2, _ := cache.NewSetAssoc(4096, 32, 2, cache.LRU, nil)
+	dm, _ := cache.NewDirectMapped(4096, 32)
+	// A locality-bearing stream: hot lines plus occasional conflicting
+	// far references (a column cache cannot help on pure random noise).
+	src := rng.New(10)
+	for i := 0; i < 200000; i++ {
+		var a addr.Addr
+		if src.Intn(4) == 0 {
+			a = addr.Addr(src.Intn(6) * 4096)
+		} else {
+			a = addr.Addr(0x40000 + src.Intn(2048))
+		}
+		c.Access(a, false)
+		w2.Access(a, false)
+		dm.Access(a, false)
+	}
+	mc, m2, mdm := c.Stats().Misses, w2.Stats().Misses, dm.Stats().Misses
+	if float64(mc) > float64(mdm)*1.01 {
+		t.Fatalf("column cache (%d misses) worse than direct-mapped (%d)", mc, mdm)
+	}
+	// Within 25% of the 2-way cache.
+	if float64(mc) > float64(m2)*1.25 {
+		t.Fatalf("column misses %d not close to 2-way %d (dm %d)", mc, m2, mdm)
+	}
+}
+
+func TestColumnContains(t *testing.T) {
+	c, _ := NewColumn(1024, 32)
+	c.Access(0, false)
+	c.Access(1024, false) // rehashed to alternate set
+	if !c.Contains(0) || !c.Contains(1024) {
+		t.Fatal("Contains missed a resident line")
+	}
+	if c.Contains(2048) {
+		t.Fatal("Contains found a non-resident line")
+	}
+}
+
+func TestColumnDirtyWriteback(t *testing.T) {
+	c, _ := NewColumn(1024, 32)
+	c.Access(0, true)
+	c.Access(1024, false)
+	c.Access(2048, false) // displaces one of them
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no eviction recorded under triple conflict")
+	}
+}
+
+func TestSkewedBeatsDMOnPow2Conflicts(t *testing.T) {
+	// Four blocks at power-of-two stride thrash a DM cache and still
+	// conflict in a conventional 2-way cache, but the skewing functions
+	// spread them: the skewed cache must do clearly better than both.
+	sk, err := NewSkewed(4096, 32, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dm, _ := cache.NewDirectMapped(4096, 32)
+	w2, _ := cache.NewSetAssoc(4096, 32, 2, cache.LRU, nil)
+	src := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		a := addr.Addr(src.Intn(4) * 4096)
+		sk.Access(a, false)
+		dm.Access(a, false)
+		w2.Access(a, false)
+	}
+	ms, mdm, m2 := sk.Stats().Misses, dm.Stats().Misses, w2.Stats().Misses
+	if ms*2 > mdm {
+		t.Fatalf("skewed (%d) did not clearly beat DM (%d)", ms, mdm)
+	}
+	if ms > m2 {
+		t.Fatalf("skewed (%d) worse than conventional 2-way (%d)", ms, m2)
+	}
+}
+
+func TestSkewedContains(t *testing.T) {
+	sk, _ := NewSkewed(1024, 32, rng.New(1))
+	src := rng.New(3)
+	for i := 0; i < 5000; i++ {
+		a := addr.Addr(src.Intn(1 << 13))
+		want := sk.Contains(a)
+		if got := sk.Access(a, false).Hit; got != want {
+			t.Fatalf("Contains/Access disagree on %#x", a)
+		}
+	}
+}
+
+func TestSkewedBankFunctionsDiffer(t *testing.T) {
+	sk, _ := NewSkewed(4096, 32, rng.New(1))
+	differ := 0
+	for b := addr.Addr(0); b < 1024; b++ {
+		if sk.bankIndex(0, b) != sk.bankIndex(1, b) {
+			differ++
+		}
+	}
+	if differ < 256 {
+		t.Fatalf("bank functions coincide too often: differ on %d/1024 blocks", differ)
+	}
+}
+
+func TestHACNearFullyAssociative(t *testing.T) {
+	// 32 conflicting blocks cycle: a 16kB HAC (32-way) holds them all.
+	h, err := NewHAC(16384, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for blk := 0; blk < 32; blk++ {
+			r := h.Access(addr.Addr(blk*16384), false)
+			if round > 0 && !r.Hit {
+				t.Fatalf("round %d: HAC missed block %d", round, blk)
+			}
+		}
+	}
+	if h.CAMBits() != 23 {
+		t.Fatalf("CAMBits = %d, want 23 (paper §6.7: 26 = 23 + 3 status)", h.CAMBits())
+	}
+}
+
+func TestHACName(t *testing.T) {
+	h, _ := NewHAC(16384, 32)
+	if h.Name() != "16kB-hac32" {
+		t.Fatalf("Name = %q", h.Name())
+	}
+}
+
+func TestColumnReset(t *testing.T) {
+	c, _ := NewColumn(1024, 32)
+	c.Access(0, false)
+	c.Access(1024, false)
+	c.Reset()
+	if c.Contains(0) || c.SecondHits != 0 || c.Stats().Accesses != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}

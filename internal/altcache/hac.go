@@ -1,0 +1,51 @@
+package altcache
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+)
+
+// HACAssoc is the associativity of the highly-associative cache the
+// paper discusses (§6.7).
+const HACAssoc = 32
+
+// HAC is the highly-associative CAM-tag cache of §6.7: the cache is
+// partitioned into small subarrays (1 kB in the paper) and within a
+// subarray the decoder is *fully* programmable — a CAM holds the whole
+// tag, making each subarray effectively 32-way associative. The paper
+// observes the HAC is the extreme point of the B-Cache design space
+// (PD length = full CAM tag width; 26 bits for 16 kB vs. the B-Cache's
+// 6) and pays for it in CAM area, power, and a serialized global decode.
+//
+// Functionally HAC behaves as a 32-way set-associative cache with FIFO
+// replacement (the common policy for CAM-tag designs); this type wraps
+// that model and exposes the CAM width for the area/energy analyses.
+type HAC struct {
+	*cache.SetAssoc
+}
+
+// NewHAC builds the §6.7 highly-associative cache.
+func NewHAC(size, lineBytes int) (*HAC, error) {
+	sa, err := cache.NewSetAssoc(size, lineBytes, HACAssoc, cache.FIFO, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &HAC{SetAssoc: sa}, nil
+}
+
+// CAMBits returns the width of the per-line CAM entry: tag plus in-
+// subarray index bits. The paper's example: a 16 kB HAC with 32 B lines
+// and 32 ways has 23 tag + 3 status = 26 bits of CAM per line; this
+// method returns the 23 address bits (status bits are accounted
+// separately by the area model).
+func (h *HAC) CAMBits() uint {
+	g := h.Geometry()
+	return addr.Bits - g.OffsetBits() - g.IndexBits()
+}
+
+// Name implements cache.Cache.
+func (h *HAC) Name() string {
+	return fmt.Sprintf("%dkB-hac%d", h.Geometry().SizeBytes/1024, HACAssoc)
+}

@@ -1,0 +1,125 @@
+// Package area models cache storage cost in SRAM-bit equivalents,
+// regenerating the paper's Table 2 and §5.3 overhead figures.
+//
+// The unit is one SRAM cell; a ten-transistor CAM cell (the programmable
+// decoder's storage) costs CAMCellFactor SRAM cells (§5.3: "the area of
+// the CAM cell is 25% larger than the SRAM cell"). Set-associative
+// comparison points add a calibrated per-way periphery term (comparators,
+// way multiplexers, replacement state) so that a 16 kB 4-way cache lands
+// on the paper's quoted +7.98% over the baseline.
+package area
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+)
+
+// CAMCellFactor is the area of a CAM cell in SRAM-cell units (§5.3).
+const CAMCellFactor = 1.25
+
+// statusBits counts valid + dirty per line, stored with the tag.
+const statusBits = 2
+
+// perWayPeripheryBits is the SRAM-bit-equivalent cost of one extra way's
+// comparator, output multiplexer slice, and replacement-state storage.
+// Calibrated so a 16 kB 4-way cache is 7.98% larger than the direct-
+// mapped baseline, the figure the paper quotes from Cacti (§5.3).
+const perWayPeripheryBits = 3417
+
+// Cost is a storage budget in SRAM-bit equivalents.
+type Cost struct {
+	TagDecoderBits  float64 // programmable tag decoder storage (CAM), if any
+	TagBits         float64 // tag memory (including status bits)
+	DataDecoderBits float64 // programmable data decoder storage (CAM), if any
+	DataBits        float64 // data memory
+	PeripheryBits   float64 // per-way comparators/muxes beyond way 1
+}
+
+// Total returns the summed cost.
+func (c Cost) Total() float64 {
+	return c.TagDecoderBits + c.TagBits + c.DataDecoderBits + c.DataBits + c.PeripheryBits
+}
+
+// OverheadVs returns (c-base)/base as a fraction.
+func (c Cost) OverheadVs(base Cost) float64 {
+	return c.Total()/base.Total() - 1
+}
+
+func (c Cost) String() string {
+	return fmt.Sprintf("tagDec=%.0f tag=%.0f dataDec=%.0f data=%.0f periph=%.0f total=%.0f",
+		c.TagDecoderBits, c.TagBits, c.DataDecoderBits, c.DataBits, c.PeripheryBits, c.Total())
+}
+
+// SetAssoc returns the storage cost of a conventional cache
+// (ways=1 is the direct-mapped baseline).
+func SetAssoc(size, lineBytes, ways int) (Cost, error) {
+	g, err := cache.NewGeometry(size, lineBytes, ways)
+	if err != nil {
+		return Cost{}, err
+	}
+	lines := float64(g.Frames)
+	return Cost{
+		TagBits:       (float64(g.TagBits()) + statusBits) * lines,
+		DataBits:      float64(lineBytes*8) * lines,
+		PeripheryBits: float64((ways - 1) * perWayPeripheryBits),
+	}, nil
+}
+
+// Baseline returns the direct-mapped baseline cost (Table 2, row 1).
+func Baseline(size, lineBytes int) (Cost, error) {
+	return SetAssoc(size, lineBytes, 1)
+}
+
+// BCache returns the cost of a B-Cache (Table 2, row 2). The PD borrows
+// log2(MF) bits from the tag, shortening tag memory, and adds one PI-bit
+// CAM entry per line on both the tag and data decoders (the paper's
+// organization decodes tag and data subarrays independently, §5.2).
+func BCache(cfg core.Config) (Cost, error) {
+	bc, err := core.New(cfg)
+	if err != nil {
+		return Cost{}, err
+	}
+	g := bc.Geometry()
+	lines := float64(g.Frames)
+	pdBits := float64(bc.PDBits())
+	nm := addr.Log2(uint64(cfg.MF))
+	return Cost{
+		TagDecoderBits:  pdBits * lines * CAMCellFactor,
+		TagBits:         (float64(g.TagBits()-nm) + statusBits) * lines,
+		DataDecoderBits: pdBits * lines * CAMCellFactor,
+		DataBits:        float64(cfg.LineBytes*8) * lines,
+	}, nil
+}
+
+// Victim returns the cost of a direct-mapped cache plus an entries-line
+// fully-associative victim buffer (full-tag CAM per entry plus data).
+func Victim(size, lineBytes, entries int) (Cost, error) {
+	base, err := Baseline(size, lineBytes)
+	if err != nil {
+		return Cost{}, err
+	}
+	g, _ := cache.NewGeometry(size, lineBytes, 1)
+	// Buffer entries hold a full line address tag (tag+index bits).
+	camBits := float64(addr.Bits-g.OffsetBits()) + statusBits
+	base.TagDecoderBits += float64(entries) * camBits * CAMCellFactor
+	base.DataBits += float64(entries * lineBytes * 8)
+	return base, nil
+}
+
+// HAC returns the cost of the §6.7 highly-associative CAM-tag cache:
+// every line's full tag lives in CAM.
+func HAC(size, lineBytes int) (Cost, error) {
+	g, err := cache.NewGeometry(size, lineBytes, 32)
+	if err != nil {
+		return Cost{}, err
+	}
+	lines := float64(g.Frames)
+	camBits := float64(addr.Bits-g.OffsetBits()-g.IndexBits()) + statusBits + 1
+	return Cost{
+		TagDecoderBits: camBits * lines * CAMCellFactor,
+		DataBits:       float64(lineBytes*8) * lines,
+	}, nil
+}

@@ -1,0 +1,122 @@
+package area
+
+import (
+	"math"
+	"testing"
+
+	"bcache/internal/cache"
+	"bcache/internal/core"
+)
+
+func paperBCache() core.Config {
+	return core.Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU}
+}
+
+func TestBaselineTable2(t *testing.T) {
+	// Table 2 row 1: tag mem 20 bit × 512 (18 tag + 2 status),
+	// data mem 256 bit × 512.
+	b, err := Baseline(16384, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.TagBits != 20*512 {
+		t.Errorf("baseline tag bits = %.0f, want %d", b.TagBits, 20*512)
+	}
+	if b.DataBits != 256*512 {
+		t.Errorf("baseline data bits = %.0f, want %d", b.DataBits, 256*512)
+	}
+	if b.TagDecoderBits != 0 || b.DataDecoderBits != 0 {
+		t.Error("baseline has programmable decoder storage")
+	}
+}
+
+func TestBCacheTable2(t *testing.T) {
+	// Table 2 row 2: tag 17 bit × 512 (3 tag bits moved into the PD),
+	// 6-bit CAM per line on each of the tag and data decoders at 1.25×.
+	c, err := BCache(paperBCache())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TagBits != 17*512 {
+		t.Errorf("B-Cache tag bits = %.0f, want %d", c.TagBits, 17*512)
+	}
+	want := 6 * 512 * 1.25
+	if c.TagDecoderBits != want || c.DataDecoderBits != want {
+		t.Errorf("PD storage = %.0f/%.0f, want %.0f", c.TagDecoderBits, c.DataDecoderBits, want)
+	}
+}
+
+func TestBCacheOverhead(t *testing.T) {
+	// §5.3: "The overhead of B-Cache increases the total cache area of
+	// the baseline by 4.3%."
+	base, _ := Baseline(16384, 32)
+	bc, _ := BCache(paperBCache())
+	got := bc.OverheadVs(base)
+	if math.Abs(got-0.043) > 0.005 {
+		t.Fatalf("B-Cache area overhead = %.4f, want ≈0.043", got)
+	}
+}
+
+func TestFourWayOverhead(t *testing.T) {
+	// §5.3: a same-sized 4-way cache is 7.98% more area than baseline.
+	base, _ := Baseline(16384, 32)
+	w4, err := SetAssoc(16384, 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w4.OverheadVs(base)
+	if math.Abs(got-0.0798) > 0.005 {
+		t.Fatalf("4-way area overhead = %.4f, want ≈0.0798", got)
+	}
+	// The B-Cache must be cheaper than the 4-way cache (the paper's
+	// point in §5.3).
+	bc, _ := BCache(paperBCache())
+	if bc.Total() >= w4.Total() {
+		t.Fatalf("B-Cache (%.0f) not smaller than 4-way (%.0f)", bc.Total(), w4.Total())
+	}
+}
+
+func TestVictimCost(t *testing.T) {
+	v, err := Victim(16384, 32, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := Baseline(16384, 32)
+	if v.Total() <= base.Total() {
+		t.Fatal("victim buffer adds no area")
+	}
+	// 16 entries of 32B data = 4096 bits plus CAM tags: small overhead.
+	if ov := v.OverheadVs(base); ov > 0.06 {
+		t.Fatalf("victim overhead = %.4f, implausibly large", ov)
+	}
+}
+
+func TestHACCAMDominates(t *testing.T) {
+	// The HAC stores full tags in CAM: far more decoder storage than the
+	// B-Cache's 6-bit entries (§6.7: 26 vs 6 bits).
+	h, err := HAC(16384, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, _ := BCache(paperBCache())
+	if h.TagDecoderBits <= 3*bc.TagDecoderBits {
+		t.Fatalf("HAC CAM %.0f not ≫ B-Cache PD %.0f", h.TagDecoderBits, bc.TagDecoderBits)
+	}
+}
+
+func TestErrorsPropagate(t *testing.T) {
+	if _, err := SetAssoc(1000, 32, 2); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	if _, err := BCache(core.Config{SizeBytes: 16384, LineBytes: 32, MF: 3, BAS: 8}); err == nil {
+		t.Fatal("bad B-Cache config accepted")
+	}
+}
+
+func TestScalesWithSize(t *testing.T) {
+	small, _ := Baseline(8192, 32)
+	big, _ := Baseline(32768, 32)
+	if big.Total() <= small.Total()*3 {
+		t.Fatalf("32kB (%.0f) not ≈4× 8kB (%.0f)", big.Total(), small.Total())
+	}
+}

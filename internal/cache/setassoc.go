@@ -1,0 +1,158 @@
+package cache
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+)
+
+// line is one cache frame's state. Data contents are not simulated; only
+// presence, identity, and dirtiness matter to the functional model.
+type line struct {
+	valid bool
+	dirty bool
+	tag   addr.Addr
+}
+
+// SetAssoc is an N-way set-associative cache with write-allocate,
+// write-back semantics. Ways=1 gives a conventional direct-mapped cache
+// (the paper's baseline); Sets=1 gives a fully-associative cache.
+type SetAssoc struct {
+	geom     Geometry
+	kind     PolicyKind
+	lines    []line   // Sets*Ways, set-major: frame = set*Ways + way
+	policies []Policy // one per set
+	stats    *Stats
+	name     string
+}
+
+var _ Cache = (*SetAssoc)(nil)
+
+// NewSetAssoc builds a set-associative cache. src seeds the random
+// replacement policy and may be nil for LRU/FIFO.
+func NewSetAssoc(size, lineBytes, ways int, kind PolicyKind, src *rng.Source) (*SetAssoc, error) {
+	geom, err := NewGeometry(size, lineBytes, ways)
+	if err != nil {
+		return nil, err
+	}
+	c := &SetAssoc{
+		geom:     geom,
+		kind:     kind,
+		lines:    make([]line, geom.Frames),
+		policies: make([]Policy, geom.Sets),
+		stats:    NewStats(geom.Frames),
+		name:     fmt.Sprintf("%dkB-%dway-%s", size/1024, ways, kind),
+	}
+	for s := range c.policies {
+		c.policies[s] = NewPolicy(kind, ways, src)
+	}
+	return c, nil
+}
+
+// NewDirectMapped builds the paper's baseline: a direct-mapped cache.
+func NewDirectMapped(size, lineBytes int) (*SetAssoc, error) {
+	c, err := NewSetAssoc(size, lineBytes, 1, LRU, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.name = fmt.Sprintf("%dkB-directmapped", size/1024)
+	return c, nil
+}
+
+// NewFullyAssoc builds a fully-associative cache of the given size.
+func NewFullyAssoc(size, lineBytes int, kind PolicyKind, src *rng.Source) (*SetAssoc, error) {
+	c, err := NewSetAssoc(size, lineBytes, size/lineBytes, kind, src)
+	if err != nil {
+		return nil, err
+	}
+	c.name = fmt.Sprintf("%dkB-fullyassoc-%s", size/1024, kind)
+	return c, nil
+}
+
+// Access implements Cache.
+func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
+	set := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	base := set * c.geom.Ways
+	pol := c.policies[set]
+
+	// Hit path.
+	for w := 0; w < c.geom.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			pol.Touch(w)
+			if write {
+				ln.dirty = true
+			}
+			c.stats.Record(base+w, true, write)
+			return Result{Hit: true, Frame: base + w}
+		}
+	}
+
+	// Miss: prefer an invalid way, else ask the policy for a victim.
+	way := -1
+	for w := 0; w < c.geom.Ways; w++ {
+		if !c.lines[base+w].valid {
+			way = w
+			break
+		}
+	}
+	var res Result
+	if way < 0 {
+		way = pol.Victim()
+		old := &c.lines[base+way]
+		res.Evicted = true
+		res.EvictedAddr = c.lineAddr(old.tag, set)
+		res.EvictedDirty = old.dirty
+		c.stats.RecordEviction(old.dirty)
+	}
+	c.lines[base+way] = line{valid: true, dirty: write, tag: tag}
+	pol.Touch(way)
+	res.Frame = base + way
+	c.stats.Record(base+way, false, write)
+	return res
+}
+
+// Contains implements Cache.
+func (c *SetAssoc) Contains(a addr.Addr) bool {
+	set := c.geom.Index(a)
+	tag := c.geom.Tag(a)
+	base := set * c.geom.Ways
+	for w := 0; w < c.geom.Ways; w++ {
+		ln := &c.lines[base+w]
+		if ln.valid && ln.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// lineAddr reconstructs the line-aligned byte address of (tag, set).
+func (c *SetAssoc) lineAddr(tag addr.Addr, set int) addr.Addr {
+	return tag<<(c.geom.OffsetBits()+c.geom.IndexBits()) |
+		addr.Addr(set)<<c.geom.OffsetBits()
+}
+
+// Stats implements Cache.
+func (c *SetAssoc) Stats() *Stats { return c.stats }
+
+// Geometry implements Cache.
+func (c *SetAssoc) Geometry() Geometry { return c.geom }
+
+// Name implements Cache.
+func (c *SetAssoc) Name() string { return c.name }
+
+// Policy returns the replacement policy family in use.
+func (c *SetAssoc) Policy() PolicyKind { return c.kind }
+
+// Reset implements Cache.
+func (c *SetAssoc) Reset() {
+	for i := range c.lines {
+		c.lines[i] = line{}
+	}
+	for _, p := range c.policies {
+		p.Reset()
+	}
+	c.stats.Reset()
+}

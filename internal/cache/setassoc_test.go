@@ -1,0 +1,311 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+)
+
+func mustDM(t testing.TB, size, line int) *SetAssoc {
+	t.Helper()
+	c, err := NewDirectMapped(size, line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func mustSA(t testing.TB, size, line, ways int, kind PolicyKind) *SetAssoc {
+	t.Helper()
+	c, err := NewSetAssoc(size, line, ways, kind, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGeometry(t *testing.T) {
+	g, err := NewGeometry(16*1024, 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's baseline: 16kB, 32B lines, direct-mapped →
+	// 5 offset bits, 9 index bits, 18 tag bits (32-bit addresses).
+	if g.OffsetBits() != 5 || g.IndexBits() != 9 || g.TagBits() != 18 {
+		t.Fatalf("baseline geometry = off %d idx %d tag %d, want 5/9/18",
+			g.OffsetBits(), g.IndexBits(), g.TagBits())
+	}
+	if g.Sets != 512 || g.Frames != 512 {
+		t.Fatalf("baseline sets/frames = %d/%d, want 512/512", g.Sets, g.Frames)
+	}
+}
+
+func TestGeometryErrors(t *testing.T) {
+	cases := []struct{ size, line, ways int }{
+		{0, 32, 1},
+		{12345, 32, 1},    // size not pow2
+		{16384, 24, 1},    // line not pow2
+		{16384, 32768, 1}, // line > size
+		{16384, 32, 3},    // ways not pow2
+		{16384, 32, 1024}, // ways > frames
+		{16384, 32, -4},   // negative
+	}
+	for _, c := range cases {
+		if _, err := NewGeometry(c.size, c.line, c.ways); err == nil {
+			t.Errorf("NewGeometry(%d,%d,%d) succeeded, want error", c.size, c.line, c.ways)
+		}
+	}
+}
+
+func TestDirectMappedBasics(t *testing.T) {
+	c := mustDM(t, 1024, 32) // 32 sets
+	if r := c.Access(0, false); r.Hit {
+		t.Fatal("cold access hit")
+	}
+	if r := c.Access(0, false); !r.Hit {
+		t.Fatal("second access to same address missed")
+	}
+	if r := c.Access(31, false); !r.Hit {
+		t.Fatal("access within same line missed")
+	}
+	if r := c.Access(32, false); r.Hit {
+		t.Fatal("next line hit while cold")
+	}
+	// Address 0 and 0+1024 conflict in a 1kB direct-mapped cache.
+	c.Access(1024, false)
+	if c.Contains(0) {
+		t.Fatal("conflicting line not evicted in direct-mapped cache")
+	}
+	if !c.Contains(1024) {
+		t.Fatal("refilled line absent")
+	}
+}
+
+// TestThrashingExample reproduces the paper's §2.2 example: the address
+// sequence 0,1,8,9 repeated thrashes a direct-mapped cache (0% hits after
+// any warm-up) but hits in a 2-way cache after 4 warm-up misses.
+// Addresses are line-aligned equivalents of the paper's 8-set toy cache.
+func TestThrashingExample(t *testing.T) {
+	const lineBytes = 32
+	// Paper's toy: 8 sets, 1-byte lines, addresses 0,1,8,9.
+	// Scaled: 8 sets of 32B lines = 256B cache; 0,32 conflict with 256,288.
+	seq := []addr.Addr{0, 32, 256, 288}
+
+	dm := mustDM(t, 256, lineBytes)
+	for round := 0; round < 4; round++ {
+		for _, a := range seq {
+			if r := dm.Access(a, false); r.Hit {
+				t.Fatalf("direct-mapped cache hit on %d in round %d; paper predicts zero hits", a, round)
+			}
+		}
+	}
+
+	sa := mustSA(t, 256, lineBytes, 2, LRU)
+	hits := 0
+	for round := 0; round < 4; round++ {
+		for _, a := range seq {
+			if r := sa.Access(a, false); r.Hit {
+				hits++
+			} else if round > 0 {
+				t.Fatalf("2-way cache missed %d after warm-up round", a)
+			}
+		}
+	}
+	if hits != 12 { // 16 accesses - 4 warm-up misses
+		t.Fatalf("2-way hits = %d, want 12", hits)
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	// 2 sets x 2 ways, line 32B: set stride is 64.
+	c := mustSA(t, 128, 32, 2, LRU)
+	// Fill set 0 with A and B (set 0 addresses are multiples of 64).
+	c.Access(0, false)   // A
+	c.Access(128, false) // B
+	c.Access(0, false)   // touch A: LRU = B
+	r := c.Access(256, false)
+	if !r.Evicted || r.EvictedAddr != 128 {
+		t.Fatalf("LRU evicted %v (%d), want line 128", r.Evicted, r.EvictedAddr)
+	}
+	if !c.Contains(0) || c.Contains(128) || !c.Contains(256) {
+		t.Fatal("post-eviction contents wrong")
+	}
+}
+
+func TestFIFOOrder(t *testing.T) {
+	c := mustSA(t, 128, 32, 2, FIFO)
+	c.Access(0, false)
+	c.Access(128, false)
+	c.Access(0, false) // touching A must NOT save it under FIFO
+	r := c.Access(256, false)
+	if !r.Evicted || r.EvictedAddr != 0 {
+		t.Fatalf("FIFO evicted addr %d, want 0", r.EvictedAddr)
+	}
+}
+
+func TestWritebackDirty(t *testing.T) {
+	c := mustDM(t, 128, 32)
+	c.Access(0, true) // dirty line
+	r := c.Access(128, false)
+	if !r.Evicted || !r.EvictedDirty {
+		t.Fatalf("evicting written line: Evicted=%v Dirty=%v, want true/true", r.Evicted, r.EvictedDirty)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+	c.Access(0, false) // clean line this time
+	r = c.Access(128, false)
+	if !r.Evicted || r.EvictedDirty {
+		t.Fatalf("evicting clean line: Dirty=%v, want false", r.EvictedDirty)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	c := mustDM(t, 128, 32)
+	c.Access(0, false)
+	c.Access(0, true)
+	c.Access(64, false)
+	s := c.Stats()
+	if s.Accesses != 3 || s.Hits != 1 || s.Misses != 2 || s.Reads != 2 || s.Writes != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.FrameAccesses[0] != 2 || s.FrameAccesses[2] != 1 {
+		t.Fatalf("frame accesses = %v", s.FrameAccesses)
+	}
+	c.Reset()
+	if s2 := c.Stats(); s2.Accesses != 0 || s2.FrameAccesses[0] != 0 {
+		t.Fatal("Reset did not clear stats")
+	}
+	if c.Contains(0) {
+		t.Fatal("Reset did not invalidate lines")
+	}
+}
+
+func TestFullyAssocNoConflicts(t *testing.T) {
+	// A fully-associative LRU cache holding N lines never misses on a
+	// cyclic working set of N lines (after warm-up), whatever the indices.
+	c, err := NewFullyAssoc(256, 32, LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8 lines with identical direct-mapped indices (stride 256).
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 8; i++ {
+			r := c.Access(addr.Addr(i*256), false)
+			if round > 0 && !r.Hit {
+				t.Fatalf("fully-associative cache missed line %d after warm-up", i)
+			}
+		}
+	}
+}
+
+// TestMissRateMonotonicWithWays checks the classic inclusion-adjacent
+// property on a random-but-local reference stream: with LRU, more ways at
+// the same size should not increase the miss count on these streams.
+// (Not a theorem for set-associative caches in general, but holds for the
+// generated streams and guards against gross replacement bugs.)
+func TestMissRateMonotonicWithWays(t *testing.T) {
+	src := rng.New(99)
+	stream := make([]addr.Addr, 20000)
+	cur := addr.Addr(0)
+	for i := range stream {
+		switch src.Intn(10) {
+		case 0:
+			cur = addr.Addr(src.Intn(1 << 16))
+		default:
+			cur += addr.Addr(src.Intn(96))
+		}
+		stream[i] = cur
+	}
+	prev := uint64(1 << 62)
+	for _, ways := range []int{1, 2, 4, 8} {
+		c := mustSA(t, 4096, 32, ways, LRU)
+		for _, a := range stream {
+			c.Access(a, false)
+		}
+		m := c.Stats().Misses
+		if m > prev+prev/20 { // allow 5% non-monotonic wiggle
+			t.Errorf("%d-way misses=%d substantially above %d-way misses=%d", ways, m, ways/2, prev)
+		}
+		prev = m
+	}
+}
+
+// TestContainsMatchesAccess cross-checks Contains against Access outcomes
+// under random streams (property-based).
+func TestContainsMatchesAccess(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		c := mustSA(t, 1024, 32, 4, LRU)
+		for i := 0; i < 2000; i++ {
+			a := addr.Addr(src.Intn(1 << 13))
+			want := c.Contains(a)
+			got := c.Access(a, src.Intn(2) == 0).Hit
+			if want != got {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEvictedAddrRoundTrip(t *testing.T) {
+	c := mustSA(t, 2048, 64, 2, LRU)
+	a1 := addr.Addr(0x1240)
+	a2 := a1 + 2048
+	a3 := a1 + 4096
+	c.Access(a1, false)
+	c.Access(a2, false)
+	r := c.Access(a3, false)
+	if !r.Evicted {
+		t.Fatal("expected eviction")
+	}
+	if r.EvictedAddr != addr.Align(a1, 64) {
+		t.Fatalf("EvictedAddr = %#x, want %#x", r.EvictedAddr, addr.Align(a1, 64))
+	}
+}
+
+func TestRandomPolicyStillCorrect(t *testing.T) {
+	c := mustSA(t, 1024, 32, 4, Random)
+	// Correctness (hit/miss identity), not victim quality: after filling a
+	// set, accessing resident lines must hit.
+	for i := 0; i < 4; i++ {
+		c.Access(addr.Addr(i*1024), false)
+	}
+	for i := 0; i < 4; i++ {
+		if !c.Access(addr.Addr(i*1024), false).Hit {
+			t.Fatalf("resident line %d missed under random policy", i)
+		}
+	}
+}
+
+func BenchmarkDirectMappedAccess(b *testing.B) {
+	c := mustDM(b, 16*1024, 32)
+	src := rng.New(5)
+	addrs := make([]addr.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = addr.Addr(src.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], false)
+	}
+}
+
+func Benchmark8WayAccess(b *testing.B) {
+	c := mustSA(b, 16*1024, 32, 8, LRU)
+	src := rng.New(5)
+	addrs := make([]addr.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = addr.Addr(src.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], false)
+	}
+}

@@ -1,0 +1,360 @@
+// Package core implements the paper's contribution: the Balanced Cache
+// (B-Cache), a direct-mapped cache whose local decoders are partially
+// programmable.
+//
+// A conventional direct-mapped cache decodes a fixed index: each address
+// maps to exactly one frame, and non-uniform access streams overload some
+// sets while others idle. The B-Cache lengthens the index by log2(MF)
+// bits taken from the low end of the tag and makes the top
+// log2(BAS)+log2(MF) index bits *programmable*: each frame carries a
+// small CAM entry (its programmable-decoder, or PD, entry) holding the
+// index value that currently activates it.
+//
+// Decoding stays direct-mapped — the non-programmable index (NPI) selects
+// a row of BAS candidate frames and at most one of their PD entries can
+// match (a checked invariant), so exactly one word line fires and hits
+// take a single cycle. But on a miss whose PD lookup also misses, the
+// victim may be chosen from all BAS frames of the row by a replacement
+// policy, and the victim's PD entry is reprogrammed on the fly. Heavily
+// used sets spill into underutilized ones and conflict misses approach
+// those of a BAS-way set-associative cache (paper §3).
+//
+// Terminology (paper §3.1):
+//
+//	MF  = 2^(PI+NPI)/2^OI — the memory-address mapping factor: only 1/MF
+//	      of the address space has a mapping at any instant.
+//	BAS = 2^OI/2^NPI — the B-Cache associativity: the number of candidate
+//	      frames a victim can be chosen from.
+//
+// MF = 1 and BAS = 1 degenerate to a conventional direct-mapped cache.
+package core
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+// Config parameterizes a B-Cache.
+type Config struct {
+	// SizeBytes and LineBytes fix the data array (e.g. 16384 and 32 for
+	// the paper's baseline).
+	SizeBytes int
+	LineBytes int
+	// MF is the memory-address mapping factor (power of two ≥ 1).
+	// The paper selects 8 (§4.3.2).
+	MF int
+	// BAS is the B-Cache associativity (power of two ≥ 1).
+	// The paper selects 8 (§4.3.1).
+	BAS int
+	// Policy selects the replacement policy used on PD misses
+	// (LRU or Random; §3.3).
+	Policy cache.PolicyKind
+	// Seed seeds the Random policy; ignored for LRU.
+	Seed uint64
+}
+
+// PDStats counts programmable-decoder outcomes.
+type PDStats struct {
+	// HitPD counts cache hits (which are PD hits by definition).
+	HitPD uint64
+	// MissPDHit counts cache misses whose PD lookup hit: the victim is
+	// forced to the matching frame and the replacement policy cannot be
+	// exploited (§2.3, second situation).
+	MissPDHit uint64
+	// MissPDMiss counts cache misses whose PD lookup also missed: the
+	// miss is predetermined (no tag/data read needed) and the victim is
+	// chosen by the replacement policy (§2.3, third situation).
+	MissPDMiss uint64
+	// Programmed counts PD entry writes (refills that reprogram a
+	// decoder entry).
+	Programmed uint64
+}
+
+// HitRateDuringMiss returns the fraction of cache misses whose PD lookup
+// hit — the quantity Table 6 and Figure 3 report. Lower is better: a low
+// PD hit rate during misses means the replacement policy is fully
+// exploited (§2.3).
+func (s PDStats) HitRateDuringMiss() float64 {
+	m := s.MissPDHit + s.MissPDMiss
+	if m == 0 {
+		return 0
+	}
+	return float64(s.MissPDHit) / float64(m)
+}
+
+// frame is one line frame plus its programmable-decoder entry.
+type frame struct {
+	pdValid bool
+	pd      addr.Addr // PI-bit programmable index value
+	valid   bool
+	dirty   bool
+	tag     addr.Addr // tag bits above the PI field
+}
+
+// BCache is the balanced cache. It implements cache.Cache.
+type BCache struct {
+	cfg  Config
+	geom cache.Geometry // ways = 1: the B-Cache is direct-mapped
+
+	nb   uint // log2(BAS)
+	nm   uint // log2(MF)
+	rows int  // 2^NPI where NPI = OI - nb
+
+	// frames[cluster*rows + row]; the row's candidates are the BAS frames
+	// at (c*rows + row) for c = 0..BAS-1 (paper Figure 2's clusters).
+	frames   []frame
+	policies []cache.Policy // one per row, arbitrating the BAS clusters
+
+	stats   *cache.Stats
+	pdStats PDStats
+}
+
+var _ cache.Cache = (*BCache)(nil)
+
+// New validates cfg and builds the B-Cache.
+func New(cfg Config) (*BCache, error) {
+	geom, err := cache.NewGeometry(cfg.SizeBytes, cfg.LineBytes, 1)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.MF < 1 || !addr.IsPow2(uint64(cfg.MF)) {
+		return nil, fmt.Errorf("core: MF %d is not a positive power of two", cfg.MF)
+	}
+	if cfg.BAS < 1 || !addr.IsPow2(uint64(cfg.BAS)) {
+		return nil, fmt.Errorf("core: BAS %d is not a positive power of two", cfg.BAS)
+	}
+	nb := addr.Log2(uint64(cfg.BAS))
+	nm := addr.Log2(uint64(cfg.MF))
+	if nb > geom.IndexBits() {
+		return nil, fmt.Errorf("core: BAS %d exceeds %d sets", cfg.BAS, geom.Sets)
+	}
+	if nm > geom.TagBits() {
+		return nil, fmt.Errorf("core: MF %d needs %d tag bits, have %d", cfg.MF, nm, geom.TagBits())
+	}
+	var src *rng.Source
+	if cfg.Policy == cache.Random {
+		src = rng.New(cfg.Seed)
+	}
+	c := &BCache{
+		cfg:   cfg,
+		geom:  geom,
+		nb:    nb,
+		nm:    nm,
+		rows:  1 << (geom.IndexBits() - nb),
+		stats: cache.NewStats(geom.Frames),
+	}
+	c.frames = make([]frame, geom.Frames)
+	c.policies = make([]cache.Policy, c.rows)
+	for r := range c.policies {
+		c.policies[r] = cache.NewPolicy(cfg.Policy, cfg.BAS, src)
+	}
+	return c, nil
+}
+
+// PDBits returns the programmable-index length in bits
+// (log2(BAS) + log2(MF); 6 for the paper's MF=8, BAS=8 design).
+func (c *BCache) PDBits() uint { return c.nb + c.nm }
+
+// NPDBits returns the non-programmable-index length in bits.
+func (c *BCache) NPDBits() uint { return c.geom.IndexBits() - c.nb }
+
+// Config returns the configuration the cache was built with.
+func (c *BCache) Config() Config { return c.cfg }
+
+// row extracts the non-programmable index of a.
+func (c *BCache) row(a addr.Addr) int {
+	return int(addr.Field(a, c.geom.OffsetBits(), c.geom.IndexBits()-c.nb))
+}
+
+// pi extracts the programmable index of a: the top log2(BAS) original
+// index bits plus the adjacent low log2(MF) tag bits.
+func (c *BCache) pi(a addr.Addr) addr.Addr {
+	return addr.Field(a, c.geom.OffsetBits()+c.geom.IndexBits()-c.nb, c.nb+c.nm)
+}
+
+// tagRem extracts the tag bits not covered by the PD (the bits the tag
+// array stores — three fewer than the baseline in the paper's design).
+func (c *BCache) tagRem(a addr.Addr) addr.Addr {
+	return a >> (c.geom.OffsetBits() + c.geom.IndexBits() + c.nm)
+}
+
+// frameIndex maps (cluster, row) to the physical frame index.
+func (c *BCache) frameIndex(cluster, row int) int { return cluster*c.rows + row }
+
+// lookupPD returns the cluster whose PD entry matches a's programmable
+// index in a's row, or -1. At most one can match (decoding uniqueness).
+func (c *BCache) lookupPD(a addr.Addr) int {
+	row := c.row(a)
+	pi := c.pi(a)
+	for cl := 0; cl < c.cfg.BAS; cl++ {
+		f := &c.frames[c.frameIndex(cl, row)]
+		if f.pdValid && f.pd == pi {
+			return cl
+		}
+	}
+	return -1
+}
+
+// Access implements cache.Cache.
+func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
+	row := c.row(a)
+	pi := c.pi(a)
+	tag := c.tagRem(a)
+	pol := c.policies[row]
+
+	if cl := c.lookupPD(a); cl >= 0 {
+		fi := c.frameIndex(cl, row)
+		f := &c.frames[fi]
+		if f.valid && f.tag == tag {
+			// Cache hit: single activated word line, one cycle.
+			pol.Touch(cl)
+			if write {
+				f.dirty = true
+			}
+			c.pdStats.HitPD++
+			c.stats.Record(fi, true, write)
+			return cache.Result{Hit: true, Frame: fi}
+		}
+		// PD hit, cache miss: unique decoding forces this frame as the
+		// victim — replacing any other frame would require evicting this
+		// one too (paper §2.3). The replacement policy cannot help here.
+		c.pdStats.MissPDHit++
+		res := c.refill(fi, frame{pdValid: true, pd: pi, valid: true, dirty: write, tag: tag}, row, cl)
+		c.stats.Record(fi, false, write)
+		return res
+	}
+
+	// PD miss: the miss is predetermined (no data or tag array read).
+	// The victim comes from any of the row's BAS clusters; its PD entry
+	// is reprogrammed with a's programmable index.
+	c.pdStats.MissPDMiss++
+	cl := -1
+	for k := 0; k < c.cfg.BAS; k++ { // cold start: program invalid entries first
+		if !c.frames[c.frameIndex(k, row)].pdValid {
+			cl = k
+			break
+		}
+	}
+	if cl < 0 {
+		cl = pol.Victim()
+	}
+	fi := c.frameIndex(cl, row)
+	c.pdStats.Programmed++
+	res := c.refill(fi, frame{pdValid: true, pd: pi, valid: true, dirty: write, tag: tag}, row, cl)
+	c.stats.Record(fi, false, write)
+	return res
+}
+
+// refill replaces frames[fi] with nf, reporting any eviction, and touches
+// the replacement state.
+func (c *BCache) refill(fi int, nf frame, row, cluster int) cache.Result {
+	old := c.frames[fi]
+	res := cache.Result{Frame: fi}
+	if old.valid {
+		res.Evicted = true
+		res.EvictedAddr = c.frameLineAddr(old, row)
+		res.EvictedDirty = old.dirty
+		c.stats.RecordEviction(old.dirty)
+	}
+	c.frames[fi] = nf
+	c.policies[row].Touch(cluster)
+	return res
+}
+
+// frameLineAddr reconstructs the line-aligned address cached in f, which
+// lives in the given row.
+func (c *BCache) frameLineAddr(f frame, row int) addr.Addr {
+	off := c.geom.OffsetBits()
+	npi := c.geom.IndexBits() - c.nb
+	return f.tag<<(off+npi+c.nb+c.nm) | f.pd<<(off+npi) | addr.Addr(row)<<off
+}
+
+// Contains implements cache.Cache.
+func (c *BCache) Contains(a addr.Addr) bool {
+	cl := c.lookupPD(a)
+	if cl < 0 {
+		return false
+	}
+	f := &c.frames[c.frameIndex(cl, c.row(a))]
+	return f.valid && f.tag == c.tagRem(a)
+}
+
+// Stats implements cache.Cache.
+func (c *BCache) Stats() *cache.Stats { return c.stats }
+
+// PDStats returns the programmable-decoder counters.
+func (c *BCache) PDStats() PDStats { return c.pdStats }
+
+// Geometry implements cache.Cache.
+func (c *BCache) Geometry() cache.Geometry { return c.geom }
+
+// Name implements cache.Cache.
+func (c *BCache) Name() string {
+	return fmt.Sprintf("%dkB-bcache-mf%d-bas%d-%s",
+		c.cfg.SizeBytes/1024, c.cfg.MF, c.cfg.BAS, c.cfg.Policy)
+}
+
+// Reset implements cache.Cache.
+func (c *BCache) Reset() {
+	for i := range c.frames {
+		c.frames[i] = frame{}
+	}
+	for _, p := range c.policies {
+		p.Reset()
+	}
+	c.stats.Reset()
+	c.pdStats = PDStats{}
+}
+
+// CheckInvariants verifies the structural properties the design depends
+// on and returns the first violation found, if any:
+//
+//  1. Decoding uniqueness: within a row, valid PD entries are pairwise
+//     distinct, so at most one word line can activate per access.
+//  2. A valid line implies a valid (programmed) PD entry.
+//  3. PD values fit in PDBits().
+func (c *BCache) CheckInvariants() error {
+	maxPD := addr.Addr(1)<<(c.nb+c.nm) - 1
+	for row := 0; row < c.rows; row++ {
+		seen := make(map[addr.Addr]int, c.cfg.BAS)
+		for cl := 0; cl < c.cfg.BAS; cl++ {
+			f := &c.frames[c.frameIndex(cl, row)]
+			if f.valid && !f.pdValid {
+				return fmt.Errorf("core: row %d cluster %d: valid line with unprogrammed PD", row, cl)
+			}
+			if !f.pdValid {
+				continue
+			}
+			if f.pd > maxPD {
+				return fmt.Errorf("core: row %d cluster %d: PD value %#x exceeds %d bits", row, cl, f.pd, c.nb+c.nm)
+			}
+			if prev, dup := seen[f.pd]; dup {
+				return fmt.Errorf("core: row %d: clusters %d and %d share PD value %#x (decoding not unique)", row, prev, cl, f.pd)
+			}
+			seen[f.pd] = cl
+		}
+	}
+	return nil
+}
+
+// Describe returns the address bit-field layout of this configuration,
+// e.g. for the paper's 16 kB design:
+//
+//	tag[31:17] | PI: tag[16:14]+idx[13:11] | NPI: idx[10:5] | off[4:0]
+//
+// The PI field is the programmable decoder's CAM content; everything
+// else decodes conventionally.
+func (c *BCache) Describe() string {
+	off := c.geom.OffsetBits()
+	npi := c.geom.IndexBits() - c.nb
+	loPI := off + npi
+	hiPI := loPI + c.nb + c.nm
+	return fmt.Sprintf("tag[%d:%d] | PI: tag[%d:%d]+idx[%d:%d] | NPI: idx[%d:%d] | off[%d:0]",
+		addr.Bits-1, hiPI,
+		hiPI-1, loPI+c.nb, loPI+c.nb-1, loPI,
+		loPI-1, off,
+		off-1)
+}

@@ -1,0 +1,547 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+func mustBCache(t testing.TB, cfg Config) *BCache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// paperToy builds the Figure 1(c) cache scaled to 32-byte lines:
+// 8 frames (256 B), BAS=2, MF=2, i.e. a 3-bit original index split into a
+// 2-bit NPI and a 2-bit PI (1 old index bit + 1 tag bit), LRU.
+func paperToy(t testing.TB) *BCache {
+	return mustBCache(t, Config{
+		SizeBytes: 256, LineBytes: 32, MF: 2, BAS: 2, Policy: cache.LRU,
+	})
+}
+
+// word converts the paper's word addresses (1-byte lines, 8 sets) to the
+// scaled 32-byte-line equivalents.
+func word(w int) addr.Addr { return addr.Addr(w * 32) }
+
+func TestPaperExampleThrashingResolved(t *testing.T) {
+	// §2.2/2.3: the sequence 0,1,8,9 repeated has zero hits in the
+	// direct-mapped cache but hits like a 2-way cache in the B-Cache:
+	// 4 warm-up misses, then all hits.
+	c := paperToy(t)
+	seq := []int{0, 1, 8, 9}
+	for round := 0; round < 4; round++ {
+		for _, w := range seq {
+			r := c.Access(word(w), false)
+			if round == 0 && r.Hit {
+				t.Fatalf("cold access %d hit", w)
+			}
+			if round > 0 && !r.Hit {
+				t.Fatalf("round %d: B-Cache missed %d; paper predicts 2-way behaviour", round, w)
+			}
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Stats().Misses; got != 4 {
+		t.Fatalf("misses = %d, want 4 warm-up misses", got)
+	}
+}
+
+func TestPaperExamplePDHitForcesVictim(t *testing.T) {
+	// §2.3 second situation: after 0,1,8,9 the access to 25 has a PD hit
+	// (its programmable index matches the entry programmed for 9), so 25
+	// MUST replace 9 — 1 stays resident.
+	c := paperToy(t)
+	for _, w := range []int{0, 1, 8, 9} {
+		c.Access(word(w), false)
+	}
+	before := c.PDStats()
+	r := c.Access(word(25), false)
+	if r.Hit {
+		t.Fatal("access to 25 hit")
+	}
+	after := c.PDStats()
+	if after.MissPDHit != before.MissPDHit+1 {
+		t.Fatalf("expected a PD hit during the miss: %+v -> %+v", before, after)
+	}
+	if !r.Evicted || r.EvictedAddr != word(9) {
+		t.Fatalf("25 evicted %#x, want address 9 (%#x)", r.EvictedAddr, word(9))
+	}
+	for _, w := range []int{0, 1, 8, 25} {
+		if !c.Contains(word(w)) {
+			t.Errorf("address %d should be resident", w)
+		}
+	}
+	if c.Contains(word(9)) {
+		t.Error("address 9 should have been evicted")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperExamplePDMissUsesPolicy(t *testing.T) {
+	// §2.3 third situation: address 13's programmable index matches no
+	// programmed PD entry, so the miss is predetermined and the victim is
+	// chosen by LRU from the row's two clusters.
+	c := paperToy(t)
+	for _, w := range []int{0, 1, 8, 9} {
+		c.Access(word(w), false)
+	}
+	// Touch 1 so that 9 is the LRU candidate in row 1.
+	c.Access(word(1), false)
+	before := c.PDStats()
+	r := c.Access(word(13), false)
+	if r.Hit {
+		t.Fatal("access to 13 hit")
+	}
+	after := c.PDStats()
+	if after.MissPDMiss != before.MissPDMiss+1 {
+		t.Fatalf("expected a PD miss: %+v -> %+v", before, after)
+	}
+	if after.Programmed != before.Programmed+1 {
+		t.Fatal("PD miss refill did not reprogram a decoder entry")
+	}
+	if !r.Evicted || r.EvictedAddr != word(9) {
+		t.Fatalf("13 evicted %#x, want LRU victim 9 (%#x)", r.EvictedAddr, word(9))
+	}
+	if !c.Contains(word(1)) || !c.Contains(word(13)) {
+		t.Error("addresses 1 and 13 should be resident")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 16384, LineBytes: 32, MF: 0, BAS: 8, Policy: cache.LRU},
+		{SizeBytes: 16384, LineBytes: 32, MF: 3, BAS: 8, Policy: cache.LRU},
+		{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 0, Policy: cache.LRU},
+		{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 1024, Policy: cache.LRU}, // BAS > sets
+		{SizeBytes: 16384, LineBytes: 32, MF: 1 << 20, BAS: 8, Policy: cache.LRU},
+		{SizeBytes: 1000, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestPaperDesignPoint(t *testing.T) {
+	// The paper's 16 kB design: MF=8, BAS=8 → 6-bit PD, 6-bit NPI
+	// (Figure 2: eight 6×16 PDs, I5..I0 non-programmable).
+	c := mustBCache(t, Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	if c.PDBits() != 6 || c.NPDBits() != 6 {
+		t.Fatalf("PD/NPD bits = %d/%d, want 6/6", c.PDBits(), c.NPDBits())
+	}
+}
+
+// TestDegenerateEqualsDirectMapped: with BAS=1 (any MF) or MF=1 ∧ BAS=1,
+// the B-Cache must behave exactly like a direct-mapped cache, access for
+// access (paper §3.1: MF=1 or BAS=1 is a traditional direct-mapped cache).
+func TestDegenerateEqualsDirectMapped(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 4096, LineBytes: 32, MF: 1, BAS: 1, Policy: cache.LRU},
+		{SizeBytes: 4096, LineBytes: 32, MF: 4, BAS: 1, Policy: cache.LRU},
+		{SizeBytes: 4096, LineBytes: 32, MF: 1, BAS: 1, Policy: cache.Random},
+	} {
+		bc := mustBCache(t, cfg)
+		dm, err := cache.NewDirectMapped(4096, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(31)
+		for i := 0; i < 50000; i++ {
+			a := addr.Addr(src.Intn(1 << 18))
+			w := src.Intn(4) == 0
+			rb := bc.Access(a, w)
+			rd := dm.Access(a, w)
+			if rb.Hit != rd.Hit {
+				t.Fatalf("cfg %+v: access %d (%#x): bcache hit=%v, dm hit=%v", cfg, i, a, rb.Hit, rd.Hit)
+			}
+		}
+		if err := bc.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMF1SettlesToDirectMapped: with MF=1 the PD holds only original
+// index bits, so after the decoders are programmed the hit/miss behaviour
+// converges to direct-mapped (§3.1).
+func TestMF1SettlesToDirectMapped(t *testing.T) {
+	bc := mustBCache(t, Config{SizeBytes: 4096, LineBytes: 32, MF: 1, BAS: 8, Policy: cache.LRU})
+	dm, _ := cache.NewDirectMapped(4096, 32)
+	src := rng.New(41)
+	stream := make([]addr.Addr, 200000)
+	for i := range stream {
+		stream[i] = addr.Addr(src.Intn(1 << 15))
+	}
+	var bcMiss, dmMiss int
+	for _, a := range stream {
+		if !bc.Access(a, false).Hit {
+			bcMiss++
+		}
+		if !dm.Access(a, false).Hit {
+			dmMiss++
+		}
+	}
+	ratio := float64(bcMiss) / float64(dmMiss)
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("MF=1 B-Cache misses %d vs DM %d (ratio %.3f), want ≈1", bcMiss, dmMiss, ratio)
+	}
+}
+
+// TestApproachesSetAssociative: on a conflict-alias stream (the pattern
+// the B-Cache is built for), an MF=8/BAS=8 B-Cache must eliminate most of
+// the direct-mapped conflict misses, landing between the 4-way and 8-way
+// caches (paper §4.3.3: reductions as good as 4-way, approaching 8-way).
+func TestApproachesSetAssociative(t *testing.T) {
+	const size, line = 16384, 32
+	run := func(c cache.Cache) uint64 {
+		src := rng.New(7)
+		// 6 blocks aliasing in the same sets (stride = 13*32kB keeps tags
+		// uncorrelated), visited in random order, 2 lines per visit.
+		for i := 0; i < 300000; i++ {
+			blk := src.Intn(6)
+			ln := src.Intn(2)
+			c.Access(addr.Addr(blk*13*32768+ln*32), false)
+		}
+		return c.Stats().Misses
+	}
+	dm, _ := cache.NewDirectMapped(size, line)
+	w4, _ := cache.NewSetAssoc(size, line, 4, cache.LRU, nil)
+	w8, _ := cache.NewSetAssoc(size, line, 8, cache.LRU, nil)
+	bc := mustBCache(t, Config{SizeBytes: size, LineBytes: line, MF: 8, BAS: 8, Policy: cache.LRU})
+
+	mDM, m4, m8, mBC := run(dm), run(w4), run(w8), run(bc)
+	if err := bc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if mDM < 10*m8 {
+		t.Fatalf("stream not conflict-bound enough: DM=%d 8way=%d", mDM, m8)
+	}
+	if mBC > m4 {
+		t.Errorf("B-Cache misses %d exceed 4-way %d (DM=%d, 8-way=%d)", mBC, m4, mDM, m8)
+	}
+	if mBC*2 > mDM {
+		t.Errorf("B-Cache removed under half the DM misses: %d vs %d", mBC, mDM)
+	}
+}
+
+// TestLowTagCollisionDefeatsPD: blocks at a stride whose tag difference
+// is a multiple of MF share the same programmable index, so every miss is
+// a PD hit and the B-Cache degrades to direct-mapped (the wupwise
+// behaviour of Figure 3). Raising MF past the collision breaks the tie.
+func TestLowTagCollisionDefeatsPD(t *testing.T) {
+	const size, line = 16384, 32
+	stream := func(c cache.Cache) {
+		// Two blocks 8 cache-sizes apart: tags differ by 8, so their low
+		// three tag bits coincide (MF=8 sees identical PIs).
+		for i := 0; i < 10000; i++ {
+			c.Access(addr.Addr((i%2)*8*size), false)
+		}
+	}
+	weak := mustBCache(t, Config{SizeBytes: size, LineBytes: line, MF: 8, BAS: 8, Policy: cache.LRU})
+	stream(weak)
+	if hr := weak.PDStats().HitRateDuringMiss(); hr < 0.99 {
+		t.Fatalf("MF=8 PD hit rate during misses = %.3f, want ≈1 (collision)", hr)
+	}
+	if miss := weak.Stats().Misses; miss < 9990 {
+		t.Fatalf("MF=8 misses = %d, want thrashing (≈10000)", miss)
+	}
+
+	strong := mustBCache(t, Config{SizeBytes: size, LineBytes: line, MF: 16, BAS: 8, Policy: cache.LRU})
+	stream(strong)
+	if miss := strong.Stats().Misses; miss > 10 {
+		t.Fatalf("MF=16 misses = %d, want ≈2 (collision broken)", miss)
+	}
+}
+
+// TestInvariantsUnderRandomStreams is the core property test: decoding
+// uniqueness and PD/line consistency hold after arbitrary access streams,
+// for a range of MF/BAS/policy combinations.
+func TestInvariantsUnderRandomStreams(t *testing.T) {
+	cfgs := []Config{
+		{SizeBytes: 2048, LineBytes: 32, MF: 2, BAS: 2, Policy: cache.LRU},
+		{SizeBytes: 2048, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU},
+		{SizeBytes: 2048, LineBytes: 32, MF: 16, BAS: 4, Policy: cache.Random, Seed: 5},
+		{SizeBytes: 4096, LineBytes: 64, MF: 4, BAS: 8, Policy: cache.Random, Seed: 6},
+		{SizeBytes: 2048, LineBytes: 32, MF: 64, BAS: 2, Policy: cache.LRU},
+	}
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		for _, cfg := range cfgs {
+			c := mustBCache(t, cfg)
+			for i := 0; i < 3000; i++ {
+				a := addr.Addr(src.Intn(1 << 16))
+				c.Access(a, src.Intn(3) == 0)
+			}
+			if err := c.CheckInvariants(); err != nil {
+				t.Logf("cfg %+v seed %d: %v", cfg, seed, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestContainsConsistent: Contains must agree with Access hit results and
+// a just-accessed address must be resident.
+func TestContainsConsistent(t *testing.T) {
+	f := func(seed uint64) bool {
+		src := rng.New(seed)
+		c := mustBCache(t, Config{SizeBytes: 1024, LineBytes: 32, MF: 8, BAS: 4, Policy: cache.LRU})
+		for i := 0; i < 3000; i++ {
+			a := addr.Addr(src.Intn(1 << 14))
+			want := c.Contains(a)
+			r := c.Access(a, false)
+			if r.Hit != want || !c.Contains(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEvictedAddrRoundTrip: the reconstructed eviction address must be
+// the line that was actually cached (reinserting it must not hit anything
+// else, and re-accessing the evicted address must miss).
+func TestEvictedAddrRoundTrip(t *testing.T) {
+	c := mustBCache(t, Config{SizeBytes: 1024, LineBytes: 32, MF: 8, BAS: 4, Policy: cache.LRU})
+	src := rng.New(3)
+	inserted := map[addr.Addr]bool{}
+	for i := 0; i < 5000; i++ {
+		a := addr.Align(addr.Addr(src.Intn(1<<15)), 32)
+		r := c.Access(a, false)
+		inserted[a] = true
+		if r.Evicted {
+			if !inserted[r.EvictedAddr] {
+				t.Fatalf("evicted address %#x was never inserted", r.EvictedAddr)
+			}
+			if c.Contains(r.EvictedAddr) {
+				t.Fatalf("evicted address %#x still resident", r.EvictedAddr)
+			}
+		}
+	}
+}
+
+func TestWritebackAccounting(t *testing.T) {
+	c := mustBCache(t, Config{SizeBytes: 256, LineBytes: 32, MF: 2, BAS: 2, Policy: cache.LRU})
+	c.Access(0, true) // dirty
+	// Evict it via a PD-hit replacement: address with the same row and pi.
+	// Row = bits[5,6], pi = bits[7,8]; adding 1<<9 keeps both.
+	r := c.Access(1<<9, false)
+	if !r.Evicted || !r.EvictedDirty || r.EvictedAddr != 0 {
+		t.Fatalf("eviction = %+v, want dirty line 0", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestPDStatsPartitionMisses(t *testing.T) {
+	// Every miss is either a PD hit or a PD miss; every hit is a PD hit.
+	c := mustBCache(t, Config{SizeBytes: 512, LineBytes: 32, MF: 4, BAS: 4, Policy: cache.LRU})
+	src := rng.New(77)
+	for i := 0; i < 20000; i++ {
+		c.Access(addr.Addr(src.Intn(1<<13)), false)
+	}
+	s, pd := c.Stats(), c.PDStats()
+	if pd.MissPDHit+pd.MissPDMiss != s.Misses {
+		t.Fatalf("PD miss partition %d+%d != misses %d", pd.MissPDHit, pd.MissPDMiss, s.Misses)
+	}
+	if pd.HitPD != s.Hits {
+		t.Fatalf("PD hit count %d != hits %d", pd.HitPD, s.Hits)
+	}
+	if pd.Programmed != pd.MissPDMiss {
+		t.Fatalf("programmed %d != PD misses %d", pd.Programmed, pd.MissPDMiss)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := mustBCache(t, Config{SizeBytes: 512, LineBytes: 32, MF: 4, BAS: 4, Policy: cache.LRU})
+	c.Access(0x1234, false)
+	c.Reset()
+	if c.Contains(0x1234) {
+		t.Fatal("Reset left a line resident")
+	}
+	if c.Stats().Accesses != 0 || c.PDStats() != (PDStats{}) {
+		t.Fatal("Reset left counters")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandomVsLRU: on a conflict-heavy stream, both policies must beat
+// direct-mapped; LRU should be at least as good as random (paper §3.3:
+// "LRU may achieve a better hit rate").
+func TestRandomVsLRU(t *testing.T) {
+	run := func(pol cache.PolicyKind) uint64 {
+		c := mustBCache(t, Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: pol, Seed: 9})
+		src := rng.New(4)
+		for i := 0; i < 200000; i++ {
+			blk := src.Intn(5)
+			c.Access(addr.Addr(blk*7*32768+src.Intn(4)*32), false)
+		}
+		return c.Stats().Misses
+	}
+	lru, random := run(cache.LRU), run(cache.Random)
+	dm, _ := cache.NewDirectMapped(16384, 32)
+	src := rng.New(4)
+	for i := 0; i < 200000; i++ {
+		blk := src.Intn(5)
+		dm.Access(addr.Addr(blk*7*32768+src.Intn(4)*32), false)
+	}
+	dmMiss := dm.Stats().Misses
+	if lru >= dmMiss/2 || random >= dmMiss/2 {
+		t.Fatalf("policies did not reduce conflict misses: lru=%d random=%d dm=%d", lru, random, dmMiss)
+	}
+	if lru > random+random/10 {
+		t.Errorf("LRU (%d misses) much worse than random (%d)", lru, random)
+	}
+}
+
+func BenchmarkBCacheAccess(b *testing.B) {
+	c := mustBCache(b, Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	src := rng.New(5)
+	addrs := make([]addr.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = addr.Addr(src.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], false)
+	}
+}
+
+// TestFullTagPDEqualsSetAssociative is the §6.7 limit theorem: when the
+// PD holds the entire tag (MF = 2^tagBits), every miss is a PD miss, the
+// replacement policy always has a free choice, and the B-Cache becomes
+// exactly a BAS-way set-associative LRU cache — the HAC. This must hold
+// access for access.
+func TestFullTagPDEqualsSetAssociative(t *testing.T) {
+	const size, line = 1024, 32 // 32 frames; tag bits = 32-5-5 = 22
+	for _, bas := range []int{2, 4, 8} {
+		bc := mustBCache(t, Config{
+			SizeBytes: size, LineBytes: line,
+			MF: 1 << 22, BAS: bas, Policy: cache.LRU,
+		})
+		sa, err := cache.NewSetAssoc(size, line, bas, cache.LRU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(uint64(bas))
+		for i := 0; i < 100000; i++ {
+			a := addr.Addr(src.Intn(1 << 16))
+			w := src.Intn(4) == 0
+			rb := bc.Access(a, w)
+			rs := sa.Access(a, w)
+			if rb.Hit != rs.Hit {
+				t.Fatalf("BAS=%d: access %d (%#x): bcache=%v setassoc=%v", bas, i, a, rb.Hit, rs.Hit)
+			}
+		}
+		// In the full-tag limit the PD never hits during a miss.
+		if pd := bc.PDStats(); pd.MissPDHit != 0 {
+			t.Fatalf("BAS=%d: %d PD hits during misses in the full-tag limit", bas, pd.MissPDHit)
+		}
+		if err := bc.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMissRateMonotonicInMF: more programmable bits can only help on
+// these streams (the Figure 4/5 trend).
+func TestMissRateMonotonicInMF(t *testing.T) {
+	src := rng.New(55)
+	stream := make([]addr.Addr, 150000)
+	for i := range stream {
+		if src.Intn(3) == 0 {
+			stream[i] = addr.Addr(src.Intn(8) * 9 * 16384)
+		} else {
+			stream[i] = addr.Addr(src.Intn(4096))
+		}
+	}
+	prev := uint64(1 << 62)
+	for _, mf := range []int{1, 2, 4, 8, 16} {
+		c := mustBCache(t, Config{SizeBytes: 16384, LineBytes: 32, MF: mf, BAS: 8, Policy: cache.LRU})
+		for _, a := range stream {
+			c.Access(a, false)
+		}
+		m := c.Stats().Misses
+		if m > prev+prev/20 {
+			t.Errorf("MF=%d misses=%d clearly above MF=%d misses=%d", mf, m, mf/2, prev)
+		}
+		prev = m
+	}
+}
+
+// TestCheckInvariantsDetectsViolations corrupts internal state directly
+// (white-box) and confirms every violation class is caught — otherwise
+// the invariant checker itself could silently rot.
+func TestCheckInvariantsDetectsViolations(t *testing.T) {
+	mk := func() *BCache {
+		return mustBCache(t, Config{SizeBytes: 512, LineBytes: 32, MF: 4, BAS: 4, Policy: cache.LRU})
+	}
+
+	t.Run("duplicate-pd", func(t *testing.T) {
+		c := mk()
+		c.Access(0, false)
+		// Copy frame 0's PD value into another cluster of row 0.
+		f0 := c.frames[c.frameIndex(0, 0)]
+		c.frames[c.frameIndex(1, 0)] = frame{pdValid: true, pd: f0.pd}
+		if err := c.CheckInvariants(); err == nil {
+			t.Fatal("duplicate PD value not detected")
+		}
+	})
+
+	t.Run("valid-line-unprogrammed-pd", func(t *testing.T) {
+		c := mk()
+		c.frames[0] = frame{valid: true, tag: 1}
+		if err := c.CheckInvariants(); err == nil {
+			t.Fatal("valid line with invalid PD not detected")
+		}
+	})
+
+	t.Run("oversized-pd", func(t *testing.T) {
+		c := mk()
+		c.frames[0] = frame{pdValid: true, pd: 1 << 10}
+		if err := c.CheckInvariants(); err == nil {
+			t.Fatal("oversized PD value not detected")
+		}
+	})
+
+	t.Run("clean-state-passes", func(t *testing.T) {
+		c := mk()
+		if err := c.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDescribe(t *testing.T) {
+	c := mustBCache(t, Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	want := "tag[31:17] | PI: tag[16:14]+idx[13:11] | NPI: idx[10:5] | off[4:0]"
+	if got := c.Describe(); got != want {
+		t.Fatalf("Describe() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+// refBCache is an obviously-correct reference model of the B-Cache built
+// from maps and explicit LRU lists, with none of the production code's
+// bit manipulation or frame packing. Model-based testing: both
+// implementations must agree on every access outcome and every eviction.
+type refBCache struct {
+	offBits, idxBits uint
+	nb, nm           uint
+	bas              int
+
+	// rows[row] maps a programmable-index value to the block address the
+	// frame with that PD entry holds (or an invalid marker).
+	rows []map[addr.Addr]refFrame
+	// lru[row] lists PI values from least to most recently used.
+	lru [][]addr.Addr
+}
+
+type refFrame struct {
+	valid bool
+	block addr.Addr
+}
+
+func newRefBCache(size, line, mf, bas int) *refBCache {
+	offBits := addr.Log2(uint64(line))
+	idxBits := addr.Log2(uint64(size / line))
+	nb := addr.Log2(uint64(bas))
+	r := &refBCache{
+		offBits: offBits, idxBits: idxBits,
+		nb: nb, nm: addr.Log2(uint64(mf)), bas: bas,
+	}
+	nRows := 1 << (idxBits - nb)
+	r.rows = make([]map[addr.Addr]refFrame, nRows)
+	r.lru = make([][]addr.Addr, nRows)
+	for i := range r.rows {
+		r.rows[i] = make(map[addr.Addr]refFrame)
+	}
+	return r
+}
+
+func (r *refBCache) fields(a addr.Addr) (row int, pi, block addr.Addr) {
+	block = a >> r.offBits
+	row = int(addr.Field(a, r.offBits, r.idxBits-r.nb))
+	pi = addr.Field(a, r.offBits+r.idxBits-r.nb, r.nb+r.nm)
+	return
+}
+
+// touch moves pi to the MRU end of the row's list.
+func (r *refBCache) touch(row int, pi addr.Addr) {
+	l := r.lru[row]
+	for i, v := range l {
+		if v == pi {
+			l = append(append(append([]addr.Addr{}, l[:i]...), l[i+1:]...), pi)
+			r.lru[row] = l
+			return
+		}
+	}
+	r.lru[row] = append(l, pi)
+}
+
+// access returns (hit, evictedBlock, evictionHappened).
+func (r *refBCache) access(a addr.Addr) (bool, addr.Addr, bool) {
+	row, pi, block := r.fields(a)
+	m := r.rows[row]
+
+	if f, ok := m[pi]; ok {
+		// PD hit.
+		if f.valid && f.block == block {
+			r.touch(row, pi)
+			return true, 0, false
+		}
+		// Forced victim: the frame holding this PD entry.
+		old := f
+		m[pi] = refFrame{valid: true, block: block}
+		r.touch(row, pi)
+		return false, old.block, old.valid
+	}
+
+	// PD miss: free frame if the row has spare capacity, else the LRU
+	// PD entry is reprogrammed.
+	if len(m) < r.bas {
+		m[pi] = refFrame{valid: true, block: block}
+		r.touch(row, pi)
+		return false, 0, false
+	}
+	victimPI := r.lru[row][0]
+	old := m[victimPI]
+	delete(m, victimPI)
+	r.lru[row] = r.lru[row][1:]
+	m[pi] = refFrame{valid: true, block: block}
+	r.touch(row, pi)
+	return false, old.block, old.valid
+}
+
+// TestModelEquivalence drives long pseudo-random streams through the
+// production B-Cache and the reference model; hits, eviction events, and
+// evicted blocks must match exactly, for several geometries.
+func TestModelEquivalence(t *testing.T) {
+	configs := []Config{
+		{SizeBytes: 512, LineBytes: 32, MF: 4, BAS: 4, Policy: cache.LRU},
+		{SizeBytes: 2048, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU},
+		{SizeBytes: 4096, LineBytes: 64, MF: 2, BAS: 2, Policy: cache.LRU},
+		{SizeBytes: 1024, LineBytes: 32, MF: 16, BAS: 2, Policy: cache.LRU},
+	}
+	for _, cfg := range configs {
+		prod := mustBCache(t, cfg)
+		ref := newRefBCache(cfg.SizeBytes, cfg.LineBytes, cfg.MF, cfg.BAS)
+		src := rng.New(uint64(cfg.MF*100 + cfg.BAS))
+		for i := 0; i < 200000; i++ {
+			// Mix hot lines and conflicting far blocks so all three PD
+			// situations occur.
+			var a addr.Addr
+			switch src.Intn(3) {
+			case 0:
+				a = addr.Addr(src.Intn(1 << 14))
+			case 1:
+				a = addr.Addr(src.Intn(16) * cfg.SizeBytes * 3)
+			default:
+				a = addr.Addr(src.Intn(1 << 20))
+			}
+			gotRes := prod.Access(a, false)
+			wantHit, wantBlock, wantEvict := ref.access(a)
+			if gotRes.Hit != wantHit {
+				t.Fatalf("cfg %+v access %d (%#x): hit=%v, model says %v", cfg, i, a, gotRes.Hit, wantHit)
+			}
+			if gotRes.Evicted != wantEvict {
+				t.Fatalf("cfg %+v access %d (%#x): evicted=%v, model says %v", cfg, i, a, gotRes.Evicted, wantEvict)
+			}
+			if wantEvict {
+				gotBlock := gotRes.EvictedAddr >> addr.Log2(uint64(cfg.LineBytes))
+				if gotBlock != wantBlock {
+					t.Fatalf("cfg %+v access %d (%#x): evicted block %#x, model says %#x",
+						cfg, i, a, gotBlock, wantBlock)
+				}
+			}
+		}
+		if err := prod.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

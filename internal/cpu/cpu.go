@@ -1,0 +1,200 @@
+// Package cpu implements the out-of-order processor timing model used to
+// turn cache behaviour into IPC, matching the paper's Table 4
+// configuration: 4-wide fetch/issue/retire, a 16-entry instruction
+// window, and the hier package's two-level memory system.
+//
+// The model is an interval ("timestamp dataflow") simulator: instructions
+// dispatch in order at up to IssueWidth per cycle into a Window-entry
+// reorder buffer, execute as soon as their register operands are ready
+// (loads additionally pay the data-cache latency), and retire in order at
+// up to RetireWidth per cycle. Instruction fetch charges the instruction
+// cache once per line or taken branch. Branch prediction is ideal — the
+// paper holds the front end constant across cache configurations, so the
+// relative IPC between configurations is preserved.
+package cpu
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/hier"
+	"bcache/internal/trace"
+)
+
+// Config is the core configuration (paper Table 4).
+type Config struct {
+	FetchWidth  int // instructions fetched per cycle
+	IssueWidth  int // instructions dispatched/issued per cycle
+	RetireWidth int // instructions retired per cycle
+	Window      int // instruction window (reorder buffer) entries
+	// MemPorts bounds memory operations started per cycle (the data
+	// cache's port count). Zero means unbounded.
+	MemPorts int
+}
+
+// Defaults returns the Table 4 baseline: a 4-issue core with a 16-entry
+// instruction window and a dual-ported data cache.
+func Defaults() Config {
+	return Config{FetchWidth: 4, IssueWidth: 4, RetireWidth: 4, Window: 16, MemPorts: 2}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.FetchWidth <= 0 || c.IssueWidth <= 0 || c.RetireWidth <= 0 {
+		return fmt.Errorf("cpu: non-positive width in %+v", c)
+	}
+	if c.Window < c.IssueWidth {
+		return fmt.Errorf("cpu: window %d smaller than issue width %d", c.Window, c.IssueWidth)
+	}
+	if c.MemPorts < 0 {
+		return fmt.Errorf("cpu: negative memory ports in %+v", c)
+	}
+	return nil
+}
+
+// Result summarizes one simulated run.
+type Result struct {
+	Instructions uint64
+	Cycles       uint64
+	// Loads/Stores counts data-cache operations executed.
+	Loads  uint64
+	Stores uint64
+}
+
+// IPC returns instructions per cycle.
+func (r Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Instructions) / float64(r.Cycles)
+}
+
+// Run executes up to maxInstr records of st against h and returns the
+// timing result. The hierarchy's caches accumulate their own statistics.
+func Run(st trace.Stream, h *hier.Hierarchy, cfg Config, maxInstr uint64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if h == nil {
+		return Result{}, fmt.Errorf("cpu: nil hierarchy")
+	}
+
+	var (
+		res Result
+
+		// regReady[r] is the cycle register r's value becomes available.
+		// Register 0 is the always-ready zero register.
+		regReady [trace.NumRegs]uint64
+
+		// dispatch/retire rings are indexed i % Window.
+		dispatchAt = make([]uint64, cfg.Window)
+		retireAt   = make([]uint64, cfg.Window)
+
+		lastRetire   uint64    // retire cycle of the previous instruction
+		fetchReady   uint64    // cycle the next instruction is available to dispatch
+		curFetchLine addr.Addr = ^addr.Addr(0)
+
+		lineMask = ^addr.Addr(uint64(h.I.Geometry().LineBytes) - 1)
+
+		// memStart is a ring of the last MemPorts memory-op start
+		// cycles; a new memory op cannot start the same cycle as the
+		// op MemPorts back.
+		memStart []uint64
+		memPos   int
+	)
+	if cfg.MemPorts > 0 {
+		memStart = make([]uint64, cfg.MemPorts)
+	}
+
+	var i uint64
+	for ; i < maxInstr; i++ {
+		rec, ok := st.Next()
+		if !ok {
+			break
+		}
+		slot := int(i % uint64(cfg.Window))
+
+		// Fetch: one I$ access per new line. A taken branch to another
+		// line redirects fetch; sequential flow within a line is free.
+		line := rec.PC & lineMask
+		if line != curFetchLine {
+			curFetchLine = line
+			lat := h.Fetch(rec.PC)
+			if lat > 1 {
+				// A fetch stall delays instruction availability.
+				fetchReady += uint64(lat - 1)
+			}
+		}
+
+		// Dispatch: in order, bounded by fetch, the issue width, and
+		// window occupancy (the slot frees when instruction i-Window
+		// retires).
+		d := fetchReady
+		if i >= uint64(cfg.Window) {
+			if r := retireAt[slot]; r > d {
+				d = r
+			}
+		}
+		if i >= uint64(cfg.IssueWidth) {
+			prev := dispatchAt[int((i-uint64(cfg.IssueWidth))%uint64(cfg.Window))]
+			if prev+1 > d {
+				d = prev + 1
+			}
+		}
+		dispatchAt[slot] = d
+		if d > fetchReady {
+			fetchReady = d
+		}
+
+		// Execute: start when operands are ready.
+		start := d
+		if r := regReady[rec.Src1]; r > start {
+			start = r
+		}
+		if r := regReady[rec.Src2]; r > start {
+			start = r
+		}
+		complete := start + uint64(rec.Lat)
+		if rec.Kind.IsMem() && memStart != nil {
+			// Port contention: delay the start until a port frees.
+			if prev := memStart[memPos]; prev+1 > start {
+				start = prev + 1
+			}
+			memStart[memPos] = start
+			memPos = (memPos + 1) % len(memStart)
+		}
+		switch rec.Kind {
+		case trace.Load:
+			res.Loads++
+			complete = start + uint64(h.Data(rec.Mem, false))
+		case trace.Store:
+			res.Stores++
+			// Stores retire through a write buffer: the D$ sees the
+			// access (for refill and statistics) but the pipeline does
+			// not wait for it.
+			h.Data(rec.Mem, true)
+			complete = start + uint64(rec.Lat)
+		}
+		if rec.Dst != 0 {
+			regReady[rec.Dst] = complete
+		}
+
+		// Retire: in order, RetireWidth per cycle.
+		r := complete
+		if lastRetire > r {
+			r = lastRetire
+		}
+		if i >= uint64(cfg.RetireWidth) {
+			prev := retireAt[int((i-uint64(cfg.RetireWidth))%uint64(cfg.Window))]
+			if prev+1 > r {
+				r = prev + 1
+			}
+		}
+		retireAt[slot] = r
+		lastRetire = r
+	}
+
+	res.Instructions = i
+	res.Cycles = lastRetire + 1
+	return res, nil
+}

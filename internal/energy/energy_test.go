@@ -1,0 +1,153 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"bcache/internal/cache"
+	"bcache/internal/core"
+)
+
+func paperCfg() core.Config {
+	return core.Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU}
+}
+
+func TestAnchorsHold(t *testing.T) {
+	p := Defaults()
+	// §5.4: B-Cache per access = +10.5% over baseline.
+	ratio := p.PerAccess(BCache) / p.PerAccess(DirectMapped)
+	if math.Abs(ratio-1.105) > 1e-9 {
+		t.Fatalf("B-Cache factor = %v, want 1.105", ratio)
+	}
+	// §5.4: B-Cache 17.4%, 44.4%, 65.5% lower than 2/4/8-way.
+	for _, tt := range []struct {
+		kind Kind
+		low  float64
+	}{{Way2, 0.174}, {Way4, 0.444}, {Way8, 0.655}} {
+		got := 1 - p.PerAccess(BCache)/p.PerAccess(tt.kind)
+		if math.Abs(got-tt.low) > 0.001 {
+			t.Errorf("B-Cache vs %v: %.4f lower, want %.3f", tt.kind, got, tt.low)
+		}
+	}
+	// §1: a direct-mapped cache consumes ~68.8% less than 8-way at 16kB.
+	dmVs8 := 1 - p.PerAccess(DirectMapped)/p.PerAccess(Way8)
+	if math.Abs(dmVs8-0.688) > 0.02 {
+		t.Errorf("DM vs 8-way: %.4f lower, want ≈0.688", dmVs8)
+	}
+	// §6.2: off-chip access = 100× baseline.
+	if p.OffChipPJ != 100*p.L1BaselinePJ {
+		t.Error("off-chip anchor broken")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	p := Defaults()
+	prev := 0.0
+	for _, k := range []Kind{DirectMapped, BCache, Way2, Way4, Way8, Way32} {
+		e := p.PerAccess(k)
+		if e <= prev {
+			t.Fatalf("per-access energy not increasing at %v: %v <= %v", k, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestDynamicComposition(t *testing.T) {
+	p := Defaults()
+	c := Counts{L1Accesses: 1000, L1Misses: 100, L2Accesses: 100, L2Misses: 10}
+	e := p.Dynamic(DirectMapped, c)
+	want := 1000*p.L1BaselinePJ + 100*p.L2AccessPJ + 100*p.RefillPJ + 10*p.OffChipPJ
+	if math.Abs(e-want) > 1e-6 {
+		t.Fatalf("dynamic = %v, want %v", e, want)
+	}
+}
+
+func TestPDPredictionSavesEnergy(t *testing.T) {
+	p := Defaults()
+	base := Counts{L1Accesses: 1000, L1Misses: 200, L2Accesses: 200}
+	withPD := base
+	withPD.PDPredictedMisses = 160 // ~80% of misses predicted (§6.2)
+	if p.Dynamic(BCache, withPD) >= p.Dynamic(BCache, base) {
+		t.Fatal("PD miss prediction did not reduce energy")
+	}
+}
+
+func TestStaticShare(t *testing.T) {
+	p := Defaults()
+	// At the baseline, static must equal dynamic (k_static = 50%).
+	dyn := 1e6
+	spc := p.StaticPerCycle(dyn, 2000)
+	b := p.Total(DirectMapped, Counts{Cycles: 2000}, spc)
+	if math.Abs(b.Static-dyn) > 1e-6 {
+		t.Fatalf("baseline static = %v, want %v (50%% of total)", b.Static, dyn)
+	}
+	// Fewer cycles → less static energy.
+	faster := p.Total(DirectMapped, Counts{Cycles: 1000}, spc)
+	if faster.Static >= b.Static {
+		t.Fatal("shorter run did not save static energy")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	p := Defaults()
+	base, bc, err := p.Table3(paperCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The baseline breakdown must sum to the baseline per-access energy.
+	if math.Abs(base.Total()-p.L1BaselinePJ) > 1e-9 {
+		t.Fatalf("baseline breakdown sums to %v, want %v", base.Total(), p.L1BaselinePJ)
+	}
+	// The B-Cache total must land on the +10.5% anchor (within 1%).
+	ratio := bc.Total() / base.Total()
+	if math.Abs(ratio-1.105) > 0.011 {
+		t.Fatalf("Table 3 B-Cache/baseline = %.4f, want ≈1.105", ratio)
+	}
+	// Tag-side components shrink (3 fewer bits); decoders grow (CAM).
+	if bc.TSA >= base.TSA || bc.TBLWL >= base.TBLWL {
+		t.Error("tag-side components did not shrink")
+	}
+	if bc.TDec <= base.TDec || bc.DDec <= base.DDec {
+		t.Error("decoder components did not grow")
+	}
+}
+
+func TestTable3BadConfig(t *testing.T) {
+	p := Defaults()
+	if _, _, err := p.Table3(core.Config{SizeBytes: 100, LineBytes: 32, MF: 8, BAS: 8}); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for _, k := range []Kind{DirectMapped, Way2, Way4, Way8, Way32, BCache, VictimDM, HAC} {
+		if k.String() == "" {
+			t.Fatalf("kind %d has empty name", int(k))
+		}
+	}
+}
+
+func TestVictimProbeCharged(t *testing.T) {
+	p := Defaults()
+	base := Counts{L1Accesses: 1000}
+	probed := base
+	probed.VictimProbes = 500
+	if p.Dynamic(VictimDM, probed) <= p.Dynamic(VictimDM, base) {
+		t.Fatal("victim probes not charged")
+	}
+}
+
+func TestDrowsyStaticFactor(t *testing.T) {
+	if got := DrowsyStaticFactor(0); got != 1 {
+		t.Fatalf("factor(0) = %v", got)
+	}
+	if got := DrowsyStaticFactor(1); got != 1-DrowsyLeakageSave {
+		t.Fatalf("factor(1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range fraction accepted")
+		}
+	}()
+	DrowsyStaticFactor(1.5)
+}

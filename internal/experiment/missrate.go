@@ -1,0 +1,172 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bcache/internal/cache"
+	"bcache/internal/energy"
+	"bcache/internal/workload"
+)
+
+// Figures 4, 5 and 12: miss-rate reductions over the direct-mapped
+// baseline.
+
+func init() {
+	register(Experiment{
+		ID:    "fig4",
+		Title: "Data cache miss rate reductions, 16kB (2/4/8/32-way, victim16, B-Cache MF=2..16 BAS=8)",
+		Run:   runFig4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Instruction cache miss rate reductions, 16kB (reported benchmarks)",
+		Run:   runFig5,
+	})
+	register(Experiment{
+		ID:    "fig12",
+		Title: "Miss rate reductions at 8kB and 32kB (12 configurations)",
+		Run:   runFig12,
+	})
+}
+
+// reductionTable renders one figure panel: rows = benchmarks (+Ave),
+// columns = configurations, cells = % reduction vs. baseline, with the
+// baseline miss rate as the second column for context.
+func reductionTable(id, title, note string, profiles []*workload.Profile,
+	specs []Spec, res map[string]map[string]missRun) *Table {
+
+	t := &Table{ID: id, Title: title, Note: note}
+	t.Headers = append([]string{"benchmark", "base-miss"}, specNames(specs)...)
+	sums := make([]float64, len(specs))
+	for _, p := range profiles {
+		row := res[p.Name]
+		base := row["baseline"]
+		cells := []string{p.Name, pct(base.missRate)}
+		for i, s := range specs {
+			r := reduction(base, row[s.Name])
+			sums[i] += r
+			cells = append(cells, pct(r))
+		}
+		t.AddRow(cells...)
+	}
+	ave := []string{"Ave", ""}
+	for _, s := range sums {
+		ave = append(ave, pct(s/float64(len(profiles))))
+	}
+	t.AddRow(ave...)
+	return t
+}
+
+func specNames(specs []Spec) []string {
+	out := make([]string, len(specs))
+	for i, s := range specs {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func runFig4(opts Opts) ([]*Table, error) {
+	specs := figureSpecs()
+	all := workload.All()
+	res, err := missRates(opts, all, specs, dSide)
+	if err != nil {
+		return nil, err
+	}
+	note := fmt.Sprintf("synthetic SPEC2K surrogates, %d instructions, LRU", opts.Instructions)
+	var tables []*Table
+	for _, suite := range []string{"CFP2K", "CINT2K"} { // paper order: FP panel first
+		tables = append(tables, reductionTable(
+			"fig4", fmt.Sprintf("D$ miss rate reductions over 16kB direct-mapped baseline (%s)", suite),
+			note, workload.Suite(suite), specs, res))
+	}
+	return tables, nil
+}
+
+func runFig5(opts Opts) ([]*Table, error) {
+	specs := figureSpecs()
+	var reported []*workload.Profile
+	for _, p := range workload.All() {
+		if workload.IsReportedICache(p.Name) {
+			reported = append(reported, p)
+		}
+	}
+	res, err := missRates(opts, reported, specs, iSide)
+	if err != nil {
+		return nil, err
+	}
+	note := fmt.Sprintf("benchmarks with I$ miss rate ≥ 0.01%%; %d instructions", opts.Instructions)
+	t := reductionTable("fig5", "I$ miss rate reductions over 16kB direct-mapped baseline",
+		note, reported, specs, res)
+	return []*Table{t}, nil
+}
+
+// fig12Specs: the twelve configurations of Figure 12 — conventional
+// 2/4/8-way, victim16, and the B-Cache at MF ∈ {2,4,8,16} × BAS ∈ {4,8}.
+func fig12Specs() []Spec {
+	specs := []Spec{
+		setAssocSpec(2, energy.Way2), setAssocSpec(4, energy.Way4),
+		setAssocSpec(8, energy.Way8), victimSpec(16),
+	}
+	for _, bas := range []int{4, 8} {
+		for _, mf := range []int{2, 4, 8, 16} {
+			specs = append(specs, bcacheSpec(mf, bas, cache.LRU))
+		}
+	}
+	// Give unambiguous names to the BAS=8 variants too.
+	for i := range specs {
+		if specs[i].Name == "MF2" || specs[i].Name == "MF4" ||
+			specs[i].Name == "MF8" || specs[i].Name == "MF16" {
+			specs[i].Name += "/BAS8"
+		}
+	}
+	return specs
+}
+
+func runFig12(opts Opts) ([]*Table, error) {
+	specs := fig12Specs()
+	all := workload.All()
+	var tables []*Table
+	for _, size := range []int{32 * 1024, 8 * 1024} { // paper panel order
+		o := opts
+		o.L1Size = size
+		for _, s := range []struct {
+			side side
+			tag  string
+		}{{dSide, "D$"}, {iSide, "I$"}} {
+			profiles := all
+			if s.side == iSide {
+				profiles = nil
+				for _, p := range all {
+					if workload.IsReportedICache(p.Name) {
+						profiles = append(profiles, p)
+					}
+				}
+			}
+			res, err := missRates(o, profiles, specs, s.side)
+			if err != nil {
+				return nil, err
+			}
+			// Figure 12 plots suite averages only.
+			t := &Table{
+				ID:    "fig12",
+				Title: fmt.Sprintf("Average miss rate reductions, %dkB %s", size/1024, s.tag),
+				Note:  "averaged over the benchmarks Figures 4/5 report for this side",
+			}
+			t.Headers = append([]string{"group"}, specNames(specs)...)
+			sums := make([]float64, len(specs))
+			for _, p := range profiles {
+				base := res[p.Name]["baseline"]
+				for i, sp := range specs {
+					sums[i] += reduction(base, res[p.Name][sp.Name])
+				}
+			}
+			cells := []string{fmt.Sprintf("%dK %s", size/1024, s.tag)}
+			for _, v := range sums {
+				cells = append(cells, pct(v/float64(len(profiles))))
+			}
+			t.AddRow(cells...)
+			tables = append(tables, t)
+		}
+	}
+	return tables, nil
+}

@@ -1,0 +1,326 @@
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"bcache/internal/addr"
+	"bcache/internal/altcache"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/energy"
+	"bcache/internal/rng"
+	"bcache/internal/trace"
+	"bcache/internal/victim"
+	"bcache/internal/workload"
+)
+
+// Opts controls experiment scale. The paper runs 500 M instructions per
+// benchmark after a 2 B fast-forward; the synthetic workloads reach
+// steady state within thousands of instructions, so a few million
+// instructions reproduce the same steady-state rates in seconds.
+type Opts struct {
+	// Instructions per benchmark per configuration.
+	Instructions uint64
+	// Workers bounds concurrent benchmark runs (0 = GOMAXPROCS).
+	Workers int
+	// L1Size and LineBytes shape the level-one caches under study.
+	L1Size    int
+	LineBytes int
+	// Seeds replicates miss-rate runs with shifted workload seeds and
+	// averages the results (noise control for small instruction counts).
+	// Zero or one means a single run with the canonical seed.
+	Seeds int
+}
+
+// DefaultOpts returns the scale used for EXPERIMENTS.md.
+func DefaultOpts() Opts {
+	return Opts{
+		Instructions: 2_000_000,
+		Workers:      0,
+		L1Size:       16 * 1024,
+		LineBytes:    32,
+	}
+}
+
+func (o Opts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Opts) validate() error {
+	if o.Instructions == 0 {
+		return fmt.Errorf("experiment: zero instructions")
+	}
+	if o.L1Size <= 0 || o.LineBytes <= 0 {
+		return fmt.Errorf("experiment: bad L1 shape %d/%d", o.L1Size, o.LineBytes)
+	}
+	if o.Seeds < 0 {
+		return fmt.Errorf("experiment: negative seed count %d", o.Seeds)
+	}
+	return nil
+}
+
+func (o Opts) seeds() int {
+	if o.Seeds < 1 {
+		return 1
+	}
+	return o.Seeds
+}
+
+// seedShift spreads replica seeds away from the canonical one.
+const seedShift = 1_000_003
+
+// withSeed returns p with its seed shifted for replica k (k=0 is the
+// canonical profile, untouched).
+func withSeed(p *workload.Profile, k int) *workload.Profile {
+	if k == 0 {
+		return p
+	}
+	q := *p
+	q.Regions = append([]workload.Region(nil), p.Regions...)
+	q.Seed += uint64(k) * seedShift
+	return &q
+}
+
+// memAcc is one data-cache access.
+type memAcc struct {
+	a     addr.Addr
+	write bool
+}
+
+// accessTrace is a benchmark's address streams, materialized once and
+// replayed against every cache configuration.
+type accessTrace struct {
+	name  string
+	suite string
+	// data holds the D-cache accesses in program order.
+	data []memAcc
+	// fetch holds the I-cache accesses: one per executed basic-block
+	// line (consecutive same-line PCs collapse, matching the CPU model).
+	fetch []addr.Addr
+}
+
+// materialize runs the generator for n instructions and extracts the
+// cache-visible address streams.
+func materialize(p *workload.Profile, n uint64, lineBytes int) (*accessTrace, error) {
+	g, err := workload.New(p)
+	if err != nil {
+		return nil, err
+	}
+	at := &accessTrace{name: p.Name, suite: p.Suite}
+	at.data = make([]memAcc, 0, n/3)
+	at.fetch = make([]addr.Addr, 0, n/4)
+	lineMask := ^addr.Addr(uint64(lineBytes) - 1)
+	curLine := ^addr.Addr(0)
+	for i := uint64(0); i < n; i++ {
+		rec, _ := g.Next()
+		if line := rec.PC & lineMask; line != curLine {
+			curLine = line
+			at.fetch = append(at.fetch, rec.PC)
+		}
+		if rec.Kind.IsMem() {
+			at.data = append(at.data, memAcc{rec.Mem, rec.Kind == trace.Store})
+		}
+	}
+	return at, nil
+}
+
+// Spec is a buildable L1 cache configuration.
+type Spec struct {
+	// Name appears as the table column, e.g. "8way" or "MF8".
+	Name string
+	// Kind prices the configuration in the energy model.
+	Kind energy.Kind
+	// New builds the cache at the given geometry.
+	New func(size, line int) (cache.Cache, error)
+}
+
+// baselineSpec is the paper's baseline: a direct-mapped cache.
+func baselineSpec() Spec {
+	return Spec{
+		Name: "baseline",
+		Kind: energy.DirectMapped,
+		New: func(size, line int) (cache.Cache, error) {
+			return cache.NewDirectMapped(size, line)
+		},
+	}
+}
+
+func setAssocSpec(ways int, kind energy.Kind) Spec {
+	return Spec{
+		Name: fmt.Sprintf("%dway", ways),
+		Kind: kind,
+		New: func(size, line int) (cache.Cache, error) {
+			return cache.NewSetAssoc(size, line, ways, cache.LRU, rng.New(1))
+		},
+	}
+}
+
+func victimSpec(entries int) Spec {
+	return Spec{
+		Name: fmt.Sprintf("victim%d", entries),
+		Kind: energy.VictimDM,
+		New: func(size, line int) (cache.Cache, error) {
+			return victim.New(size, line, entries)
+		},
+	}
+}
+
+func bcacheSpec(mf, bas int, pol cache.PolicyKind) Spec {
+	name := fmt.Sprintf("MF%d", mf)
+	if bas != 8 {
+		name = fmt.Sprintf("MF%d/BAS%d", mf, bas)
+	}
+	return Spec{
+		Name: name,
+		Kind: energy.BCache,
+		New: func(size, line int) (cache.Cache, error) {
+			return core.New(core.Config{
+				SizeBytes: size, LineBytes: line, MF: mf, BAS: bas, Policy: pol,
+			})
+		},
+	}
+}
+
+func hacSpec() Spec {
+	return Spec{
+		Name: "hac32",
+		Kind: energy.HAC,
+		New: func(size, line int) (cache.Cache, error) {
+			return altcache.NewHAC(size, line)
+		},
+	}
+}
+
+// figureSpecs returns the nine configurations of Figures 4 and 5:
+// 2/4/8/32-way, a 16-entry victim buffer, and the B-Cache at MF 2..16
+// with BAS = 8 (LRU throughout, as the figure captions state).
+func figureSpecs() []Spec {
+	return []Spec{
+		setAssocSpec(2, energy.Way2),
+		setAssocSpec(4, energy.Way4),
+		setAssocSpec(8, energy.Way8),
+		setAssocSpec(32, energy.Way32),
+		victimSpec(16),
+		bcacheSpec(2, 8, cache.LRU),
+		bcacheSpec(4, 8, cache.LRU),
+		bcacheSpec(8, 8, cache.LRU),
+		bcacheSpec(16, 8, cache.LRU),
+	}
+}
+
+// side selects which L1 a miss-rate experiment drives.
+type side int
+
+const (
+	dSide side = iota
+	iSide
+)
+
+// replay drives one side of the trace through c and returns it.
+func replay(at *accessTrace, c cache.Cache, s side) {
+	switch s {
+	case dSide:
+		for _, m := range at.data {
+			c.Access(m.a, m.write)
+		}
+	case iSide:
+		for _, pc := range at.fetch {
+			c.Access(pc, false)
+		}
+	}
+}
+
+// missRun is the result of one (benchmark, spec) miss-rate run.
+type missRun struct {
+	missRate float64
+	misses   uint64
+	accesses uint64
+	// pdHitDuringMiss is the PD hit rate during misses (B-Cache only).
+	pdHitDuringMiss float64
+}
+
+// missRates runs all profiles × (baseline + specs) on one cache side and
+// returns results[profile][specName] plus the baseline under "baseline".
+func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (map[string]map[string]missRun, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	all := append([]Spec{baselineSpec()}, specs...)
+
+	results := make(map[string]map[string]missRun, len(profiles))
+	var mu sync.Mutex
+	err := forEachProfile(profiles, opts.workers(), func(p *workload.Profile) error {
+		row := make(map[string]missRun, len(all))
+		for k := 0; k < opts.seeds(); k++ {
+			at, err := materialize(withSeed(p, k), opts.Instructions, opts.LineBytes)
+			if err != nil {
+				return err
+			}
+			for _, spec := range all {
+				c, err := spec.New(opts.L1Size, opts.LineBytes)
+				if err != nil {
+					return fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
+				}
+				replay(at, c, s)
+				st := c.Stats()
+				r := row[spec.Name]
+				r.misses += st.Misses
+				r.accesses += st.Accesses
+				if bc, ok := c.(*core.BCache); ok {
+					r.pdHitDuringMiss += bc.PDStats().HitRateDuringMiss() / float64(opts.seeds())
+				}
+				row[spec.Name] = r
+			}
+		}
+		for name, r := range row {
+			if r.accesses > 0 {
+				r.missRate = float64(r.misses) / float64(r.accesses)
+			}
+			row[name] = r
+		}
+		mu.Lock()
+		results[p.Name] = row
+		mu.Unlock()
+		return nil
+	})
+	return results, err
+}
+
+// forEachProfile runs fn over profiles with bounded parallelism,
+// returning the first error.
+func forEachProfile(profiles []*workload.Profile, workers int, fn func(*workload.Profile) error) error {
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	errc := make(chan error, len(profiles))
+	var wg sync.WaitGroup
+	for _, p := range profiles {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p *workload.Profile) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(p); err != nil {
+				errc <- fmt.Errorf("%s: %w", p.Name, err)
+			}
+		}(p)
+	}
+	wg.Wait()
+	close(errc)
+	return <-errc
+}
+
+// reduction converts a (baseline, config) miss pair into the paper's
+// "% reduction in miss rate over baseline".
+func reduction(baseline, config missRun) float64 {
+	if baseline.misses == 0 {
+		return 0
+	}
+	return 1 - float64(config.misses)/float64(baseline.misses)
+}

@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result: one paper table or figure
+// (figures are reproduced as the data series they plot).
+type Table struct {
+	// ID is the experiment identifier, e.g. "fig4" or "table2".
+	ID string
+	// Title describes the artifact, e.g. "Figure 4: D-cache miss rate
+	// reductions (CINT2K)".
+	Title string
+	// Note carries caveats (workload substitution, model calibration).
+	Note string
+
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; it must match the header width.
+func (t *Table) AddRow(cells ...string) {
+	if len(t.Headers) > 0 && len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("experiment: table %s row has %d cells, want %d", t.ID, len(cells), len(t.Headers)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table as aligned monospace text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(&b, "   (%s)\n", t.Note)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths) - 1
+	for _, w := range widths {
+		total += w + 1
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(f float64) string { return fmt.Sprintf("%.1f%%", 100*f) }
+
+// f3 formats a float with three decimals.
+func f3(f float64) string { return fmt.Sprintf("%.3f", f) }
+
+// WriteCSV writes the table as CSV: a comment-style header line with the
+// ID/title, then headers and rows.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	meta := []string{"# " + t.ID, t.Title}
+	if t.Note != "" {
+		meta = append(meta, t.Note)
+	}
+	if err := cw.Write(meta); err != nil {
+		return err
+	}
+	if err := cw.Write(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

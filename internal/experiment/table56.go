@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"fmt"
+
+	"bcache/internal/cache"
+	"bcache/internal/workload"
+)
+
+// Tables 5 and 6: the MF × BAS design space at fixed PD lengths.
+// Table 5 reports the average D$ miss-rate reduction and Table 6 the PD
+// hit rate during misses, for MF ∈ {2,4,8,16} at BAS = 4 and BAS = 8.
+// Design A (BAS=8) vs design B (BAS=4) at equal PD length is the §6.3
+// trade-off: B wins while the PD is short (lower PD hit rate), A wins
+// once the PD reaches 6 bits.
+
+func init() {
+	register(Experiment{
+		ID:    "table5",
+		Title: "Average D$ miss rate reduction at varied MF, BAS (and PD length)",
+		Run:   runTable5,
+	})
+	register(Experiment{
+		ID:    "table6",
+		Title: "PD hit rate during cache misses at varied MF, BAS (and PD length)",
+		Run:   runTable6,
+	})
+}
+
+// designSpace runs the MF × BAS sweep once and returns, per BAS, the
+// averaged reduction and PD hit rate per MF.
+func designSpace(opts Opts) (reductions, pdHits map[int]map[int]float64, err error) {
+	var specs []Spec
+	for _, bas := range []int{4, 8} {
+		for _, mf := range []int{2, 4, 8, 16} {
+			s := bcacheSpec(mf, bas, cache.LRU)
+			s.Name = fmt.Sprintf("mf%d-bas%d", mf, bas)
+			specs = append(specs, s)
+		}
+	}
+	all := workload.All()
+	res, err := missRates(opts, all, specs, dSide)
+	if err != nil {
+		return nil, nil, err
+	}
+	reductions = map[int]map[int]float64{4: {}, 8: {}}
+	pdHits = map[int]map[int]float64{4: {}, 8: {}}
+	for _, bas := range []int{4, 8} {
+		for _, mf := range []int{2, 4, 8, 16} {
+			name := fmt.Sprintf("mf%d-bas%d", mf, bas)
+			var red, pd float64
+			for _, p := range all {
+				base := res[p.Name]["baseline"]
+				r := res[p.Name][name]
+				red += reduction(base, r)
+				pd += r.pdHitDuringMiss
+			}
+			reductions[bas][mf] = red / float64(len(all))
+			pdHits[bas][mf] = pd / float64(len(all))
+		}
+	}
+	return reductions, pdHits, nil
+}
+
+func designTable(id, title string, vals map[int]map[int]float64) *Table {
+	t := &Table{
+		ID:    id,
+		Title: title,
+		Note:  "PD length = log2(MF)+log2(BAS) bits; design A is BAS=8, design B is BAS=4 (§6.3)",
+		Headers: []string{
+			"design", "MF=2", "MF=4", "MF=8", "MF=16",
+		},
+	}
+	for _, bas := range []int{8, 4} {
+		label := fmt.Sprintf("BAS=%d (A)", bas)
+		if bas == 4 {
+			label = "BAS=4 (B)"
+		}
+		cells := []string{label}
+		for _, mf := range []int{2, 4, 8, 16} {
+			cells = append(cells, pct(vals[bas][mf]))
+		}
+		t.AddRow(cells...)
+	}
+	pd := []string{"PD bits (A/B)"}
+	for _, mf := range []int{2, 4, 8, 16} {
+		pd = append(pd, fmt.Sprintf("%d/%d", log2i(mf)+3, log2i(mf)+2))
+	}
+	t.AddRow(pd...)
+	return t
+}
+
+func runTable5(opts Opts) ([]*Table, error) {
+	red, _, err := designSpace(opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{designTable("table5", "Miss rate reductions of the B-Cache vs MF, BAS, PD", red)}, nil
+}
+
+func runTable6(opts Opts) ([]*Table, error) {
+	_, pd, err := designSpace(opts)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{designTable("table6", "PD hit rate during cache misses vs MF, BAS, PD", pd)}, nil
+}
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

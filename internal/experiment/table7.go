@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/stats"
+	"bcache/internal/workload"
+)
+
+// Table 7: data-cache set-balance behaviour of the baseline (dm) vs the
+// B-Cache (bc). Column names follow the paper: fhs = frequent-hit sets,
+// ch = cache hits occurring in them, fms = frequent-miss sets, cm = cache
+// misses occurring in them, las = less-accessed sets, tca = share of
+// total accesses they carry.
+
+func init() {
+	register(Experiment{
+		ID:    "table7",
+		Title: "Data cache memory access behaviour (set balance), baseline vs B-Cache",
+		Run:   runTable7,
+	})
+}
+
+func runTable7(opts Opts) ([]*Table, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	all := workload.All()
+	t := &Table{
+		ID:    "table7",
+		Title: "Set balance: fhs/ch, fms/cm, las/tca per benchmark (dm = baseline, bc = B-Cache MF8/BAS8)",
+		Note:  "a set is frequent when 2x over the per-set average; less-accessed when below half of it (§6.4)",
+		Headers: []string{
+			"benchmark", "cfg", "fhs", "ch", "fms", "cm", "las", "tca",
+		},
+	}
+	type rowPair struct {
+		name   string
+		dm, bc stats.Balance
+	}
+	rows := make([]rowPair, len(all))
+	err := forEachProfile(all, opts.workers(), func(p *workload.Profile) error {
+		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		if err != nil {
+			return err
+		}
+		dm, err := cache.NewDirectMapped(opts.L1Size, opts.LineBytes)
+		if err != nil {
+			return err
+		}
+		bc, err := core.New(core.Config{
+			SizeBytes: opts.L1Size, LineBytes: opts.LineBytes,
+			MF: 8, BAS: 8, Policy: cache.LRU,
+		})
+		if err != nil {
+			return err
+		}
+		replay(at, dm, dSide)
+		replay(at, bc, dSide)
+		bdm, err := stats.Analyze(dm.Stats())
+		if err != nil {
+			return err
+		}
+		bbc, err := stats.Analyze(bc.Stats())
+		if err != nil {
+			return err
+		}
+		for i, q := range all {
+			if q.Name == p.Name {
+				rows[i] = rowPair{p.Name, bdm, bbc}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var sumDM, sumBC stats.Balance
+	for _, r := range rows {
+		addBalance(&sumDM, r.dm)
+		addBalance(&sumBC, r.bc)
+		t.AddRow(r.name, "dm", pct(r.dm.FreqHitSets), pct(r.dm.HitsInFreqSets),
+			pct(r.dm.FreqMissSets), pct(r.dm.MissesInFreqSets),
+			pct(r.dm.LessAccessedSets), pct(r.dm.AccessesInLessSets))
+		t.AddRow("", "bc", pct(r.bc.FreqHitSets), pct(r.bc.HitsInFreqSets),
+			pct(r.bc.FreqMissSets), pct(r.bc.MissesInFreqSets),
+			pct(r.bc.LessAccessedSets), pct(r.bc.AccessesInLessSets))
+	}
+	n := float64(len(rows))
+	scaleBalance(&sumDM, 1/n)
+	scaleBalance(&sumBC, 1/n)
+	t.AddRow("Ave", "dm", pct(sumDM.FreqHitSets), pct(sumDM.HitsInFreqSets),
+		pct(sumDM.FreqMissSets), pct(sumDM.MissesInFreqSets),
+		pct(sumDM.LessAccessedSets), pct(sumDM.AccessesInLessSets))
+	t.AddRow("", "bc", pct(sumBC.FreqHitSets), pct(sumBC.HitsInFreqSets),
+		pct(sumBC.FreqMissSets), pct(sumBC.MissesInFreqSets),
+		pct(sumBC.LessAccessedSets), pct(sumBC.AccessesInLessSets))
+	return []*Table{t}, nil
+}
+
+func addBalance(dst *stats.Balance, s stats.Balance) {
+	dst.FreqHitSets += s.FreqHitSets
+	dst.HitsInFreqSets += s.HitsInFreqSets
+	dst.FreqMissSets += s.FreqMissSets
+	dst.MissesInFreqSets += s.MissesInFreqSets
+	dst.LessAccessedSets += s.LessAccessedSets
+	dst.AccessesInLessSets += s.AccessesInLessSets
+}
+
+func scaleBalance(dst *stats.Balance, f float64) {
+	dst.FreqHitSets *= f
+	dst.HitsInFreqSets *= f
+	dst.FreqMissSets *= f
+	dst.MissesInFreqSets *= f
+	dst.LessAccessedSets *= f
+	dst.AccessesInLessSets *= f
+}

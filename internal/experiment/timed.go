@@ -1,0 +1,216 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/cpu"
+	"bcache/internal/energy"
+	"bcache/internal/hier"
+	"bcache/internal/trace"
+	"bcache/internal/victim"
+	"bcache/internal/workload"
+)
+
+// Figures 8 and 9: whole-processor IPC and memory energy. Each
+// configuration replaces both level-one caches; the rest of the platform
+// is Table 4's.
+
+func init() {
+	register(Experiment{
+		ID:    "fig8",
+		Title: "IPC improvement of 2/4/8-way, B-Cache and victim16 over the baseline",
+		Run:   runFig8,
+	})
+	register(Experiment{
+		ID:    "fig9",
+		Title: "Total memory energy normalized to the baseline",
+		Run:   runFig9,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Baseline and B-Cache processor configuration",
+		Run:   runTable4,
+	})
+}
+
+// timedSpecs: the five configurations Figures 8 and 9 compare against the
+// baseline.
+func timedSpecs() []Spec {
+	return []Spec{
+		setAssocSpec(2, energy.Way2),
+		setAssocSpec(4, energy.Way4),
+		setAssocSpec(8, energy.Way8),
+		{Name: "B-Cache", Kind: energy.BCache, New: func(size, line int) (cache.Cache, error) {
+			return core.New(core.Config{SizeBytes: size, LineBytes: line, MF: 8, BAS: 8, Policy: cache.LRU})
+		}},
+		victimSpec(16),
+	}
+}
+
+// timedRun holds one (benchmark, config) timed simulation.
+type timedRun struct {
+	cpu    cpu.Result
+	counts energy.Counts
+	kind   energy.Kind
+}
+
+// runTimed simulates one benchmark on one L1 configuration.
+func runTimed(p *workload.Profile, spec Spec, opts Opts) (timedRun, error) {
+	ic, err := spec.New(opts.L1Size, opts.LineBytes)
+	if err != nil {
+		return timedRun{}, err
+	}
+	dc, err := spec.New(opts.L1Size, opts.LineBytes)
+	if err != nil {
+		return timedRun{}, err
+	}
+	h, err := hier.New(ic, dc, hier.Defaults())
+	if err != nil {
+		return timedRun{}, err
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		return timedRun{}, err
+	}
+	res, err := cpu.Run(trace.Stream(g), h, cpu.Defaults(), opts.Instructions)
+	if err != nil {
+		return timedRun{}, err
+	}
+
+	c := energy.Counts{
+		L1Accesses: ic.Stats().Accesses + dc.Stats().Accesses,
+		L1Misses:   ic.Stats().Misses + dc.Stats().Misses,
+		L2Accesses: h.L2.Stats().Accesses,
+		L2Misses:   h.L2.Stats().Misses,
+		Cycles:     res.Cycles,
+	}
+	if bc, ok := ic.(*core.BCache); ok {
+		c.PDPredictedMisses += bc.PDStats().MissPDMiss
+	}
+	if bc, ok := dc.(*core.BCache); ok {
+		c.PDPredictedMisses += bc.PDStats().MissPDMiss
+	}
+	if vc, ok := ic.(*victim.Cache); ok {
+		c.VictimProbes += vc.Stats().Misses + vc.BufferHits
+	}
+	if vc, ok := dc.(*victim.Cache); ok {
+		c.VictimProbes += vc.Stats().Misses + vc.BufferHits
+	}
+	return timedRun{cpu: res, counts: c, kind: spec.Kind}, nil
+}
+
+// timedResults runs all profiles × (baseline + specs).
+func timedResults(opts Opts, specs []Spec) (map[string]map[string]timedRun, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	all := append([]Spec{baselineSpec()}, specs...)
+	out := make(map[string]map[string]timedRun)
+	var mu sync.Mutex
+	err := forEachProfile(workload.All(), opts.workers(), func(p *workload.Profile) error {
+		row := make(map[string]timedRun, len(all))
+		for _, spec := range all {
+			r, err := runTimed(p, spec, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", spec.Name, err)
+			}
+			row[spec.Name] = r
+		}
+		mu.Lock()
+		out[p.Name] = row
+		mu.Unlock()
+		return nil
+	})
+	return out, err
+}
+
+func runFig8(opts Opts) ([]*Table, error) {
+	specs := timedSpecs()
+	res, err := timedResults(opts, specs)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID:      "fig8",
+		Title:   "% IPC improvement over the 16kB direct-mapped baseline",
+		Note:    fmt.Sprintf("Table 4 processor, %d instructions per run", opts.Instructions),
+		Headers: append([]string{"benchmark", "base-IPC"}, specNames(specs)...),
+	}
+	sums := make([]float64, len(specs))
+	all := workload.All()
+	for _, p := range all {
+		row := res[p.Name]
+		base := row["baseline"].cpu.IPC()
+		cells := []string{p.Name, f3(base)}
+		for i, s := range specs {
+			imp := row[s.Name].cpu.IPC()/base - 1
+			sums[i] += imp
+			cells = append(cells, pct(imp))
+		}
+		t.AddRow(cells...)
+	}
+	ave := []string{"Ave", ""}
+	for _, s := range sums {
+		ave = append(ave, pct(s/float64(len(all))))
+	}
+	t.AddRow(ave...)
+	return []*Table{t}, nil
+}
+
+func runFig9(opts Opts) ([]*Table, error) {
+	specs := timedSpecs()
+	res, err := timedResults(opts, specs)
+	if err != nil {
+		return nil, err
+	}
+	params := energy.Defaults()
+	t := &Table{
+		ID:      "fig9",
+		Title:   "Total memory-related energy normalized to the baseline (lower is better)",
+		Note:    "Figure 10 equations; k_static=0.5, off-chip=100x L1 access",
+		Headers: append([]string{"benchmark"}, specNames(specs)...),
+	}
+	sums := make([]float64, len(specs))
+	all := workload.All()
+	for _, p := range all {
+		row := res[p.Name]
+		base := row["baseline"]
+		spc := params.StaticPerCycle(params.Dynamic(energy.DirectMapped, base.counts), base.counts.Cycles)
+		baseTotal := params.Total(energy.DirectMapped, base.counts, spc).Total()
+		cells := []string{p.Name}
+		for i, s := range specs {
+			r := row[s.Name]
+			norm := params.Total(r.kind, r.counts, spc).Total() / baseTotal
+			sums[i] += norm
+			cells = append(cells, f3(norm))
+		}
+		t.AddRow(cells...)
+	}
+	ave := []string{"Ave"}
+	for _, s := range sums {
+		ave = append(ave, f3(s/float64(len(all))))
+	}
+	t.AddRow(ave...)
+	return []*Table{t}, nil
+}
+
+func runTable4(Opts) ([]*Table, error) {
+	c := cpu.Defaults()
+	h := hier.Defaults()
+	t := &Table{
+		ID:      "table4",
+		Title:   "Baseline and B-Cache processor configuration",
+		Headers: []string{"parameter", "value"},
+	}
+	t.AddRow("Fetch/Issue/Retire width", fmt.Sprintf("%d instructions/cycle", c.IssueWidth))
+	t.AddRow("Instruction window", fmt.Sprintf("%d instructions", c.Window))
+	t.AddRow("Data cache ports", fmt.Sprintf("%d", c.MemPorts))
+	t.AddRow("L1 caches", "16kB, 32B line, direct-mapped (baseline) / B-Cache MF=8 BAS=8")
+	t.AddRow("L2 unified cache", fmt.Sprintf("%dkB, %dB line, %d-way, %d-cycle hit",
+		h.L2Size/1024, h.L2Line, h.L2Ways, h.L2Latency))
+	t.AddRow("Main memory", fmt.Sprintf("infinite size, %d-cycle access", h.MemLatency))
+	return []*Table{t}, nil
+}

@@ -1,0 +1,196 @@
+// Package hier composes level-one instruction and data caches with the
+// unified L2 and main memory of the paper's evaluation platform
+// (Table 4): split 16 kB L1s, a 256 kB 4-way unified L2 with 128-byte
+// lines and a 6-cycle hit latency, and 100-cycle main memory.
+//
+// The hierarchy is the single point the CPU model and the energy model
+// query: it returns access latencies and maintains the per-level traffic
+// counters (L2 accesses and misses, memory accesses, writebacks).
+package hier
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+)
+
+// Config carries the hierarchy latencies. Defaults() matches Table 4.
+type Config struct {
+	L1Latency  int // L1 hit time in cycles
+	L2Latency  int // L2 hit time in cycles
+	MemLatency int // main-memory access time in cycles
+
+	// L2Size/L2Line/L2Ways shape the unified L2.
+	L2Size int
+	L2Line int
+	L2Ways int
+
+	// StreamBuffer enables a FIFO stream buffer of the given depth on
+	// the data side (Jouppi): every L1 miss prefetches the next line
+	// into the buffer, and an L1 miss that hits the buffer is serviced
+	// in L1Latency+1 cycles instead of going to the L2. Zero disables.
+	StreamBuffer int
+}
+
+// Defaults returns the paper's Table 4 configuration.
+func Defaults() Config {
+	return Config{
+		L1Latency:  1,
+		L2Latency:  6,
+		MemLatency: 100,
+		L2Size:     256 * 1024,
+		L2Line:     128,
+		L2Ways:     4,
+	}
+}
+
+// Hierarchy is a two-level memory system with split L1s.
+type Hierarchy struct {
+	cfg Config
+	I   cache.Cache
+	D   cache.Cache
+	L2  cache.Cache
+
+	// MemAccesses counts main-memory reads (L2 miss refills).
+	MemAccesses uint64
+	// MemWrites counts main-memory writes (L2 dirty writebacks).
+	MemWrites uint64
+	// L1Writebacks counts dirty L1 evictions written into the L2.
+	L1Writebacks uint64
+	// L1Refills counts L1 miss refills (block fills from L2/memory).
+	L1Refills uint64
+
+	// StreamHits counts data-side L1 misses served by the stream buffer.
+	StreamHits uint64
+	// Prefetches counts stream-buffer prefetch fills issued to the L2.
+	Prefetches uint64
+
+	// stream is the FIFO stream buffer (line addresses), nil if disabled.
+	stream []addr.Addr
+}
+
+// New builds a hierarchy around the given L1 instruction and data caches,
+// with the Config's conventional set-associative L2.
+func New(icache, dcache cache.Cache, cfg Config) (*Hierarchy, error) {
+	l2, err := cache.NewSetAssoc(cfg.L2Size, cfg.L2Line, cfg.L2Ways, cache.LRU, nil)
+	if err != nil {
+		return nil, fmt.Errorf("hier: building L2: %w", err)
+	}
+	return NewWithL2(icache, dcache, l2, cfg)
+}
+
+// NewWithL2 builds a hierarchy around an arbitrary unified L2 (e.g. a
+// B-Cache: the mechanism is not L1-specific).
+func NewWithL2(icache, dcache, l2 cache.Cache, cfg Config) (*Hierarchy, error) {
+	if icache == nil || dcache == nil || l2 == nil {
+		return nil, fmt.Errorf("hier: nil cache")
+	}
+	if cfg.L1Latency <= 0 || cfg.L2Latency <= 0 || cfg.MemLatency <= 0 {
+		return nil, fmt.Errorf("hier: non-positive latency in %+v", cfg)
+	}
+	return &Hierarchy{cfg: cfg, I: icache, D: dcache, L2: l2}, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() Config { return h.cfg }
+
+// Fetch performs an instruction fetch of the line holding pc and returns
+// its latency in cycles.
+func (h *Hierarchy) Fetch(pc addr.Addr) int {
+	return h.access(h.I, pc, false, false)
+}
+
+// Data performs a data access and returns its latency in cycles.
+func (h *Hierarchy) Data(a addr.Addr, write bool) int {
+	return h.access(h.D, a, write, h.cfg.StreamBuffer > 0)
+}
+
+// access runs one L1 access and services misses and writebacks through
+// the L2 and memory, returning the total latency.
+func (h *Hierarchy) access(l1 cache.Cache, a addr.Addr, write, streamOK bool) int {
+	r := l1.Access(a, write)
+	lat := h.cfg.L1Latency + r.ExtraLatency
+	if r.Evicted && r.EvictedDirty {
+		// Write the dirty victim back into the L2 (off the critical path;
+		// latency not charged to this access).
+		h.L1Writebacks++
+		h.l2Access(r.EvictedAddr, true)
+	}
+	if r.Hit {
+		return lat
+	}
+	h.L1Refills++
+	if streamOK {
+		line := addr.Align(a, uint64(l1.Geometry().LineBytes))
+		next := line + addr.Addr(l1.Geometry().LineBytes)
+		if h.streamHit(line) {
+			// Buffer hit: the line was prefetched; one extra cycle to
+			// move it in, and keep the stream running.
+			h.StreamHits++
+			h.streamFill(next)
+			return lat + 1
+		}
+		// Demand miss: service it first, then start the stream — the
+		// prefetch rides behind the demand fill.
+		lat += h.l2Access(a, false)
+		h.streamFill(next)
+		return lat
+	}
+	return lat + h.l2Access(a, false)
+}
+
+// streamHit consumes a buffered line if present.
+func (h *Hierarchy) streamHit(line addr.Addr) bool {
+	for i, b := range h.stream {
+		if b == line {
+			h.stream = append(h.stream[:i], h.stream[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// streamFill prefetches line into the buffer through the L2 (off the
+// demand critical path), evicting FIFO when full.
+func (h *Hierarchy) streamFill(line addr.Addr) {
+	for _, b := range h.stream {
+		if b == line {
+			return
+		}
+	}
+	h.Prefetches++
+	h.l2Access(line, false)
+	if len(h.stream) >= h.cfg.StreamBuffer {
+		h.stream = h.stream[1:]
+	}
+	h.stream = append(h.stream, line)
+}
+
+// l2Access touches the unified L2 and returns the latency beyond L1.
+func (h *Hierarchy) l2Access(a addr.Addr, write bool) int {
+	r := h.L2.Access(a, write)
+	lat := h.cfg.L2Latency
+	if r.Evicted && r.EvictedDirty {
+		h.MemWrites++
+	}
+	if !r.Hit {
+		h.MemAccesses++
+		lat += h.cfg.MemLatency
+	}
+	return lat
+}
+
+// Reset clears all caches and counters.
+func (h *Hierarchy) Reset() {
+	h.I.Reset()
+	h.D.Reset()
+	h.L2.Reset()
+	h.MemAccesses = 0
+	h.MemWrites = 0
+	h.L1Writebacks = 0
+	h.L1Refills = 0
+	h.StreamHits = 0
+	h.Prefetches = 0
+	h.stream = h.stream[:0]
+}

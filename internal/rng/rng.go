@@ -1,0 +1,104 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator used throughout the simulator.
+//
+// Simulation results must be bit-for-bit reproducible across machines and
+// Go releases (math/rand's algorithm and seeding have changed between
+// versions), so the simulator carries its own generator: SplitMix64 for
+// seeding and xoshiro256** for the stream, per Blackman & Vigna.
+package rng
+
+// Source is a deterministic xoshiro256** generator.
+// The zero value is not valid; use New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via SplitMix64, so that nearby
+// seeds still produce uncorrelated streams.
+func New(seed uint64) *Source {
+	var r Source
+	sm := seed
+	for i := range r.s {
+		sm += 0x9E3779B97F4A7C15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		r.s[i] = z ^ (z >> 31)
+	}
+	return &r
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next value in the stream.
+func (r *Source) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniform 32-bit value.
+func (r *Source) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection-free-in-expectation reduction is
+	// overkill here; plain modulo bias is negligible for simulation n
+	// (always ≪ 2^32), but use the multiply method anyway — it is cheap
+	// and exact enough.
+	return int((uint64(r.Uint32()) * uint64(n)) >> 32)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Geometric returns a sample from a geometric distribution with the given
+// mean (>= 1): the number of trials until first success with p = 1/mean.
+// Used for run lengths in workload generators.
+func (r *Source) Geometric(mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1 / mean
+	n := 1
+	for r.Float64() >= p && n < 1<<20 {
+		n++
+	}
+	return n
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (r *Source) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}
+
+// Cycle fills out with a pseudo-random permutation consisting of a single
+// cycle (Sattolo's algorithm), so that following out[i] repeatedly visits
+// every index. Pointer-chase workloads depend on this full-coverage
+// property.
+func (r *Source) Cycle(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i) // note: i, not i+1 — Sattolo, not Fisher–Yates
+		out[i], out[j] = out[j], out[i]
+	}
+}

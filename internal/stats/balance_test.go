@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/rng"
+)
+
+func TestAnalyzeUniform(t *testing.T) {
+	// Perfectly uniform usage: no frequent or less-accessed sets.
+	s := cache.NewStats(8)
+	for f := 0; f < 8; f++ {
+		for i := 0; i < 10; i++ {
+			s.Record(f, i > 0, false)
+		}
+	}
+	b, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreqHitSets != 0 || b.FreqMissSets != 0 || b.LessAccessedSets != 0 {
+		t.Fatalf("uniform usage classified as skewed: %+v", b)
+	}
+}
+
+func TestAnalyzeSkewed(t *testing.T) {
+	// One set carries nearly all hits and misses; others idle.
+	s := cache.NewStats(10)
+	for i := 0; i < 100; i++ {
+		s.Record(0, i%2 == 0, false)
+	}
+	for f := 1; f < 10; f++ {
+		s.Record(f, true, false)
+	}
+	b, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreqHitSets != 0.1 {
+		t.Errorf("FreqHitSets = %v, want 0.1", b.FreqHitSets)
+	}
+	if b.HitsInFreqSets < 0.8 {
+		t.Errorf("HitsInFreqSets = %v, want most hits", b.HitsInFreqSets)
+	}
+	if b.FreqMissSets != 0.1 || b.MissesInFreqSets != 1.0 {
+		t.Errorf("miss classification = %+v", b)
+	}
+	if b.LessAccessedSets != 0.9 {
+		t.Errorf("LessAccessedSets = %v, want 0.9", b.LessAccessedSets)
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(&cache.Stats{}); err == nil {
+		t.Fatal("accepted empty stats")
+	}
+	if _, err := Analyze(cache.NewStats(4)); err == nil {
+		t.Fatal("accepted zero-access stats")
+	}
+}
+
+// TestBCacheBalancesAccesses is the §6.4 claim end-to-end: on a
+// conflict-heavy stream the B-Cache reduces the share of misses carried
+// by frequent-miss sets and reduces the number of less-accessed sets
+// compared with the direct-mapped baseline.
+func TestBCacheBalancesAccesses(t *testing.T) {
+	const size, line = 16384, 32
+	stream := func(c cache.Cache) {
+		src := rng.New(19)
+		for i := 0; i < 400000; i++ {
+			var a addr.Addr
+			switch src.Intn(10) {
+			case 0, 1, 2:
+				a = addr.Addr(src.Intn(7) * 9 * 32768) // conflicting far blocks
+			default:
+				a = addr.Addr(src.Intn(128) * 32) // hot lines in few sets
+			}
+			c.Access(a, false)
+		}
+	}
+	dm, _ := cache.NewDirectMapped(size, line)
+	bc, err := core.New(core.Config{SizeBytes: size, LineBytes: line, MF: 8, BAS: 8, Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream(dm)
+	stream(bc)
+	bdm, err := Analyze(dm.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bbc, err := Analyze(bc.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bbc.MissesInFreqSets >= bdm.MissesInFreqSets && bdm.MissesInFreqSets > 0 {
+		t.Errorf("B-Cache did not shrink frequent-miss concentration: %.3f vs %.3f",
+			bbc.MissesInFreqSets, bdm.MissesInFreqSets)
+	}
+	if bbc.LessAccessedSets > bdm.LessAccessedSets {
+		t.Errorf("B-Cache increased idle sets: %.3f vs %.3f",
+			bbc.LessAccessedSets, bdm.LessAccessedSets)
+	}
+}
+
+func TestFractionsInRange(t *testing.T) {
+	src := rng.New(5)
+	s := cache.NewStats(64)
+	for i := 0; i < 100000; i++ {
+		s.Record(src.Intn(64), src.Intn(3) > 0, src.Intn(4) == 0)
+	}
+	b, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{b.FreqHitSets, b.HitsInFreqSets, b.FreqMissSets,
+		b.MissesInFreqSets, b.LessAccessedSets, b.AccessesInLessSets} {
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("fraction out of range: %+v", b)
+		}
+	}
+}

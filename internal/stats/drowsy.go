@@ -1,0 +1,63 @@
+package stats
+
+import "fmt"
+
+// DrowsyTracker measures how much of a cache could sit in a drowsy
+// (low-leakage) state: §6.4 argues that even after the B-Cache balances
+// accesses, plenty of sets stay cold enough for techniques like Drowsy
+// Cache and Cache Decay to apply on top.
+//
+// The model is the standard windowed policy: every window accesses the
+// tracker samples all frames, and a frame idle for at least a full
+// window counts as drowsy-eligible at that sample.
+type DrowsyTracker struct {
+	window uint64
+	last   []uint64 // tick of each frame's most recent access
+	tick   uint64
+
+	samples       uint64 // frames examined across all sampling points
+	drowsySamples uint64 // of those, how many were idle ≥ window
+}
+
+// NewDrowsyTracker builds a tracker for a cache with frames line frames,
+// sampling every window accesses.
+func NewDrowsyTracker(frames int, window uint64) (*DrowsyTracker, error) {
+	if frames <= 0 {
+		return nil, fmt.Errorf("stats: drowsy tracker needs frames")
+	}
+	if window == 0 {
+		return nil, fmt.Errorf("stats: drowsy tracker needs a positive window")
+	}
+	return &DrowsyTracker{window: window, last: make([]uint64, frames)}, nil
+}
+
+// Touch records an access to frame and advances time by one access.
+func (d *DrowsyTracker) Touch(frame int) {
+	d.tick++
+	d.last[frame] = d.tick
+	if d.tick%d.window == 0 {
+		for _, l := range d.last {
+			d.samples++
+			if d.tick-l >= d.window {
+				d.drowsySamples++
+			}
+		}
+	}
+}
+
+// DrowsyFraction returns the average fraction of frames that were
+// drowsy-eligible at the sampling points (0 if never sampled).
+func (d *DrowsyTracker) DrowsyFraction() float64 {
+	if d.samples == 0 {
+		return 0
+	}
+	return float64(d.drowsySamples) / float64(d.samples)
+}
+
+// Samples returns the number of sampling points taken so far.
+func (d *DrowsyTracker) Samples() uint64 {
+	if len(d.last) == 0 {
+		return 0
+	}
+	return d.samples / uint64(len(d.last))
+}

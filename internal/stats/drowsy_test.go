@@ -1,0 +1,65 @@
+package stats
+
+import (
+	"testing"
+
+	"bcache/internal/rng"
+)
+
+func TestDrowsyTrackerValidation(t *testing.T) {
+	if _, err := NewDrowsyTracker(0, 10); err == nil {
+		t.Fatal("zero frames accepted")
+	}
+	if _, err := NewDrowsyTracker(8, 0); err == nil {
+		t.Fatal("zero window accepted")
+	}
+}
+
+func TestDrowsyAllHotNeverDrowsy(t *testing.T) {
+	// A single frame touched continuously is never idle.
+	d, err := NewDrowsyTracker(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		d.Touch(0)
+	}
+	if f := d.DrowsyFraction(); f != 0 {
+		t.Fatalf("hot frame drowsy fraction = %v, want 0", f)
+	}
+}
+
+func TestDrowsyColdFramesCounted(t *testing.T) {
+	// Frame 0 hot, frames 1..9 never touched: ~90% drowsy.
+	d, err := NewDrowsyTracker(10, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1600; i++ {
+		d.Touch(0)
+	}
+	if f := d.DrowsyFraction(); f < 0.89 || f > 0.91 {
+		t.Fatalf("drowsy fraction = %v, want ≈0.9", f)
+	}
+	if d.Samples() != 100 {
+		t.Fatalf("samples = %d, want 100", d.Samples())
+	}
+}
+
+func TestDrowsyUniformTraffic(t *testing.T) {
+	// Uniform traffic over many frames with a window shorter than the
+	// revisit interval: most frames are idle at any sample.
+	d, err := NewDrowsyTracker(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	for i := 0; i < 100000; i++ {
+		d.Touch(src.Intn(256))
+	}
+	f := d.DrowsyFraction()
+	// P(idle over 64 accesses) ≈ (1-1/256)^64 ≈ 0.78.
+	if f < 0.7 || f > 0.85 {
+		t.Fatalf("uniform drowsy fraction = %v, want ≈0.78", f)
+	}
+}

@@ -1,0 +1,243 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bcache/internal/addr"
+)
+
+// Compressed trace format (version 2): identical header layout to v1 but
+// records are delta-encoded with varints, exploiting the streams'
+// locality — sequential PCs encode in one byte instead of four, and data
+// addresses delta against the previous data address.
+//
+// Record encoding, in order:
+//
+//	flags   1 byte: bits 0-2 kind, bit 3 hasMem, bit 4 pcSeq (PC advanced
+//	        by exactly 4), bit 5 latIs1
+//	pcDelta zigzag varint (omitted when pcSeq)
+//	mem     zigzag varint delta vs previous Mem (only when hasMem)
+//	regs    3 bytes Src1, Src2, Dst
+//	lat     1 byte (omitted when latIs1)
+const (
+	versionV2 = 2
+
+	flagKindMask = 0x07
+	flagHasMem   = 1 << 3
+	flagPCSeq    = 1 << 4
+	flagLatIs1   = 1 << 5
+)
+
+// CompressedWriter encodes records in the v2 format.
+type CompressedWriter struct {
+	w      *bufio.Writer
+	seek   io.WriteSeeker
+	count  uint64
+	prevPC addr.Addr
+	prevM  addr.Addr
+	buf    []byte
+}
+
+// NewCompressedWriter begins a v2 trace on w (same header contract as
+// NewWriter).
+func NewCompressedWriter(w io.Writer) (*CompressedWriter, error) {
+	cw := &CompressedWriter{w: bufio.NewWriterSize(w, 1<<16), buf: make([]byte, 0, 32)}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		cw.seek = ws
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], versionV2)
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing v2 header: %w", err)
+	}
+	return cw, nil
+}
+
+func zigzag(d int64) uint64   { return uint64(d<<1) ^ uint64(d>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Write appends one record.
+func (cw *CompressedWriter) Write(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if r.PC > addr.Max || r.Mem > addr.Max {
+		return fmt.Errorf("trace: address exceeds %d bits: %+v", addr.Bits, r)
+	}
+	b := cw.buf[:0]
+	flags := byte(r.Kind) & flagKindMask
+	pcDelta := int64(r.PC) - int64(cw.prevPC)
+	if pcDelta == instrStride {
+		flags |= flagPCSeq
+	}
+	if r.Kind.IsMem() {
+		flags |= flagHasMem
+	}
+	if r.Lat == 1 {
+		flags |= flagLatIs1
+	}
+	b = append(b, flags)
+	if flags&flagPCSeq == 0 {
+		b = binary.AppendUvarint(b, zigzag(pcDelta))
+	}
+	if flags&flagHasMem != 0 {
+		b = binary.AppendUvarint(b, zigzag(int64(r.Mem)-int64(cw.prevM)))
+		cw.prevM = r.Mem
+	}
+	b = append(b, r.Src1, r.Src2, r.Dst)
+	if flags&flagLatIs1 == 0 {
+		b = append(b, r.Lat)
+	}
+	cw.prevPC = r.PC
+	if _, err := cw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing v2 record: %w", err)
+	}
+	cw.count++
+	return nil
+}
+
+// instrStride is the sequential-PC delta the format special-cases.
+const instrStride = 4
+
+// Count returns the records written so far.
+func (cw *CompressedWriter) Count() uint64 { return cw.count }
+
+// Close flushes and back-patches the record count when possible.
+func (cw *CompressedWriter) Close() error {
+	if err := cw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing v2: %w", err)
+	}
+	if cw.seek == nil {
+		return nil
+	}
+	if _, err := cw.seek.Seek(8, io.SeekStart); err != nil {
+		return err
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], cw.count)
+	if _, err := cw.seek.Write(cnt[:]); err != nil {
+		return err
+	}
+	_, err := cw.seek.Seek(0, io.SeekEnd)
+	return err
+}
+
+// CompressedReader decodes v2 traces. It implements Stream.
+type CompressedReader struct {
+	r      *bufio.Reader
+	count  uint64
+	err    error
+	prevPC addr.Addr
+	prevM  addr.Addr
+}
+
+var _ Stream = (*CompressedReader)(nil)
+
+// NewCompressedReader validates the v2 header.
+func NewCompressedReader(r io.Reader) (*CompressedReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short v2 header: %v", ErrBadFormat, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != versionV2 {
+		return nil, fmt.Errorf("%w: not a v2 trace (version %d)", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count == 0 {
+		count = ^uint64(0)
+	}
+	return &CompressedReader{r: br, count: count}, nil
+}
+
+// Next implements Stream.
+func (cr *CompressedReader) Next() (Record, bool) {
+	if cr.err != nil || cr.count == 0 {
+		return Record{}, false
+	}
+	flags, err := cr.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			cr.err = fmt.Errorf("%w: truncated v2 record: %v", ErrBadFormat, err)
+		}
+		cr.count = 0
+		return Record{}, false
+	}
+	fail := func(what string, err error) (Record, bool) {
+		cr.err = fmt.Errorf("%w: v2 %s: %v", ErrBadFormat, what, err)
+		cr.count = 0
+		return Record{}, false
+	}
+	var rec Record
+	rec.Kind = Kind(flags & flagKindMask)
+	if flags&flagPCSeq != 0 {
+		rec.PC = cr.prevPC + instrStride
+	} else {
+		u, err := binary.ReadUvarint(cr.r)
+		if err != nil {
+			return fail("pc delta", err)
+		}
+		rec.PC = addr.Addr(int64(cr.prevPC) + unzigzag(u))
+	}
+	if flags&flagHasMem != 0 {
+		u, err := binary.ReadUvarint(cr.r)
+		if err != nil {
+			return fail("mem delta", err)
+		}
+		rec.Mem = addr.Addr(int64(cr.prevM) + unzigzag(u))
+		cr.prevM = rec.Mem
+	}
+	var regs [3]byte
+	if _, err := io.ReadFull(cr.r, regs[:]); err != nil {
+		return fail("registers", err)
+	}
+	rec.Src1, rec.Src2, rec.Dst = regs[0], regs[1], regs[2]
+	if flags&flagLatIs1 != 0 {
+		rec.Lat = 1
+	} else {
+		lat, err := cr.r.ReadByte()
+		if err != nil {
+			return fail("latency", err)
+		}
+		rec.Lat = lat
+	}
+	cr.prevPC = rec.PC
+	if cr.count != ^uint64(0) {
+		cr.count--
+	}
+	if err := rec.Validate(); err != nil {
+		cr.err = err
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Err returns the first decode error, if any.
+func (cr *CompressedReader) Err() error { return cr.err }
+
+// OpenAny sniffs the version field and returns the matching reader for a
+// v1 or v2 trace.
+func OpenAny(r io.ReadSeeker) (Stream, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	switch binary.LittleEndian.Uint32(hdr[4:8]) {
+	case version:
+		return NewReader(r)
+	case versionV2:
+		return NewCompressedReader(r)
+	default:
+		return nil, fmt.Errorf("%w: unknown version %d", ErrBadFormat, binary.LittleEndian.Uint32(hdr[4:8]))
+	}
+}

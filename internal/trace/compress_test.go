@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"bcache/internal/rng"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	src := rng.New(31)
+	recs := make([]Record, 5000)
+	for i := range recs {
+		recs[i] = randRecord(src)
+	}
+	var buf bytes.Buffer
+	w, err := NewCompressedWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewCompressedReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("v2 stream ended at %d (err=%v)", i, r.Err())
+		}
+		if got != want {
+			t.Fatalf("v2 record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok || r.Err() != nil {
+		t.Fatalf("v2 trailing state: err=%v", r.Err())
+	}
+}
+
+func TestCompressedRejectsV1(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Record{PC: 4, Kind: Int, Lat: 1})
+	_ = w.Close()
+	if _, err := NewCompressedReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("v2 reader accepted a v1 file")
+	}
+}
+
+func TestOpenAny(t *testing.T) {
+	rec := Record{PC: 4, Kind: Int, Lat: 1}
+	var v1, v2 bytes.Buffer
+	w1, _ := NewWriter(&v1)
+	_ = w1.Write(rec)
+	_ = w1.Close()
+	w2, _ := NewCompressedWriter(&v2)
+	_ = w2.Write(rec)
+	_ = w2.Close()
+
+	for i, data := range [][]byte{v1.Bytes(), v2.Bytes()} {
+		st, err := OpenAny(bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("version %d: %v", i+1, err)
+		}
+		got, ok := st.Next()
+		if !ok || got != rec {
+			t.Fatalf("version %d: replay = %+v, %v", i+1, got, ok)
+		}
+	}
+	if _, err := OpenAny(bytes.NewReader([]byte("BCT1\x09\x00\x00\x00........"))); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+}
+
+func TestCompressedTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewCompressedWriter(&buf)
+	_ = w.Write(Record{PC: 0x1000, Kind: Load, Mem: 0x2000, Lat: 1})
+	_ = w.Close()
+	trunc := buf.Bytes()[:buf.Len()-2]
+	r, err := NewCompressedReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated v2 record decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+// FuzzCompressedReader: arbitrary bytes must never panic the v2 decoder.
+func FuzzCompressedReader(f *testing.F) {
+	var buf bytes.Buffer
+	w, _ := NewCompressedWriter(&buf)
+	_ = w.Write(Record{PC: 4, Kind: Int, Lat: 1})
+	_ = w.Write(Record{PC: 8, Kind: Load, Mem: 0x100, Lat: 3})
+	_ = w.Close()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:headerSize+1])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewCompressedReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 10000; i++ {
+			rec, ok := r.Next()
+			if !ok {
+				break
+			}
+			if err := rec.Validate(); err != nil {
+				t.Fatalf("v2 decoder emitted invalid record: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDineroBasics(t *testing.T) {
+	in := `# a comment
+2 400
+0 1000
+1 1008
+
+2 404
+0 0x1010
+`
+	d := NewDineroReader(strings.NewReader(in))
+	want := []Record{
+		{PC: 0x400, Kind: Int, Lat: 1},
+		{PC: 0x400, Kind: Load, Mem: 0x1000, Lat: 1},
+		{PC: 0x400, Kind: Store, Mem: 0x1008, Lat: 1},
+		{PC: 0x404, Kind: Int, Lat: 1},
+		{PC: 0x404, Kind: Load, Mem: 0x1010, Lat: 1},
+	}
+	for i, w := range want {
+		got, ok := d.Next()
+		if !ok {
+			t.Fatalf("stream ended at %d: %v", i, d.Err())
+		}
+		if got != w {
+			t.Fatalf("record %d: got %+v want %+v", i, got, w)
+		}
+	}
+	if _, ok := d.Next(); ok || d.Err() != nil {
+		t.Fatalf("trailing state: %v", d.Err())
+	}
+}
+
+func TestDineroDataOnlyTrace(t *testing.T) {
+	// Traces without ifetches still produce valid records.
+	d := NewDineroReader(strings.NewReader("0 2000\n1 2008\n"))
+	r1, ok := d.Next()
+	if !ok || r1.Kind != Load || r1.PC == 0 {
+		t.Fatalf("r1 = %+v, %v", r1, ok)
+	}
+	if err := r1.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDineroErrors(t *testing.T) {
+	cases := []string{
+		"9 1000\n",      // unknown label
+		"x 1000\n",      // bad label
+		"0 zz\n",        // bad address
+		"0\n",           // short line
+		"0 fffffffff\n", // > 32-bit address
+	}
+	for i, in := range cases {
+		d := NewDineroReader(strings.NewReader(in))
+		if _, ok := d.Next(); ok {
+			t.Errorf("case %d: bad line accepted", i)
+			continue
+		}
+		if d.Err() == nil {
+			t.Errorf("case %d: no error reported", i)
+		}
+	}
+}
+
+func TestDineroRecordsValidate(t *testing.T) {
+	d := NewDineroReader(strings.NewReader("2 400\n0 1000\n1 1004\n"))
+	for {
+		rec, ok := d.Next()
+		if !ok {
+			break
+		}
+		if err := rec.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}

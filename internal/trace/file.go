@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"bcache/internal/addr"
+)
+
+// File format: a 16-byte header followed by fixed-width records.
+//
+//	offset  size  field
+//	0       4     magic "BCT1"
+//	4       4     version (little-endian uint32) = 1
+//	8       8     record count (little-endian uint64)
+//
+// Each record is 14 bytes: PC (uint32), Mem (uint32), Kind, Src1, Src2,
+// Dst, Lat, and one reserved byte (zero). Addresses are 32-bit by
+// construction (see addr.Bits).
+const (
+	magic      = "BCT1"
+	version    = 1
+	headerSize = 16
+	recordSize = 14
+)
+
+// ErrBadFormat reports a malformed trace file.
+var ErrBadFormat = errors.New("trace: bad file format")
+
+// Writer encodes records to an io.Writer. Call Close to flush the header
+// count; Writer buffers records internally, so the underlying writer must
+// support nothing beyond Write.
+type Writer struct {
+	w     *bufio.Writer
+	seek  io.WriteSeeker // non-nil when the count can be back-patched
+	count uint64
+	buf   [recordSize]byte
+}
+
+// NewWriter begins a trace file on w. If w also implements
+// io.WriteSeeker (e.g. *os.File), the record count in the header is
+// back-patched on Close; otherwise the count field is written as zero and
+// readers rely on EOF.
+func NewWriter(w io.Writer) (*Writer, error) {
+	tw := &Writer{w: bufio.NewWriterSize(w, 1<<16)}
+	if ws, ok := w.(io.WriteSeeker); ok {
+		tw.seek = ws
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic)
+	binary.LittleEndian.PutUint32(hdr[4:8], version)
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return tw, nil
+}
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	if r.PC > addr.Max || r.Mem > addr.Max {
+		return fmt.Errorf("trace: address exceeds %d bits: %+v", addr.Bits, r)
+	}
+	b := tw.buf[:]
+	binary.LittleEndian.PutUint32(b[0:4], uint32(r.PC))
+	binary.LittleEndian.PutUint32(b[4:8], uint32(r.Mem))
+	b[8] = byte(r.Kind)
+	b[9] = r.Src1
+	b[10] = r.Src2
+	b[11] = r.Dst
+	b[12] = r.Lat
+	b[13] = 0
+	if _, err := tw.w.Write(b); err != nil {
+		return fmt.Errorf("trace: writing record: %w", err)
+	}
+	tw.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (tw *Writer) Count() uint64 { return tw.count }
+
+// Close flushes buffered records and back-patches the header count when
+// the underlying writer is seekable.
+func (tw *Writer) Close() error {
+	if err := tw.w.Flush(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	if tw.seek == nil {
+		return nil
+	}
+	if _, err := tw.seek.Seek(8, io.SeekStart); err != nil {
+		return fmt.Errorf("trace: seeking header: %w", err)
+	}
+	var cnt [8]byte
+	binary.LittleEndian.PutUint64(cnt[:], tw.count)
+	if _, err := tw.seek.Write(cnt[:]); err != nil {
+		return fmt.Errorf("trace: patching count: %w", err)
+	}
+	_, err := tw.seek.Seek(0, io.SeekEnd)
+	return err
+}
+
+// Reader decodes a trace file. It implements Stream.
+type Reader struct {
+	r     *bufio.Reader
+	count uint64 // records remaining per header; ^0 when unknown
+	err   error
+	buf   [recordSize]byte
+}
+
+var _ Stream = (*Reader)(nil)
+
+// NewReader validates the header and returns a Reader positioned at the
+// first record.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: short header: %v", ErrBadFormat, err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != version {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count == 0 {
+		count = ^uint64(0) // unknown; read until EOF
+	}
+	return &Reader{r: br, count: count}, nil
+}
+
+// Next implements Stream.
+func (tr *Reader) Next() (Record, bool) {
+	if tr.err != nil || tr.count == 0 {
+		return Record{}, false
+	}
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if err != io.EOF {
+			tr.err = fmt.Errorf("%w: truncated record: %v", ErrBadFormat, err)
+		}
+		tr.count = 0
+		return Record{}, false
+	}
+	b := tr.buf[:]
+	r := Record{
+		PC:   addr.Addr(binary.LittleEndian.Uint32(b[0:4])),
+		Mem:  addr.Addr(binary.LittleEndian.Uint32(b[4:8])),
+		Kind: Kind(b[8]),
+		Src1: b[9],
+		Src2: b[10],
+		Dst:  b[11],
+		Lat:  b[12],
+	}
+	if tr.count != ^uint64(0) {
+		tr.count--
+	}
+	if err := r.Validate(); err != nil {
+		tr.err = err
+		return Record{}, false
+	}
+	return r, true
+}
+
+// Err returns the first decode error encountered, if any.
+func (tr *Reader) Err() error { return tr.err }

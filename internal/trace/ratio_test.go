@@ -1,0 +1,59 @@
+package trace_test
+
+import (
+	"bytes"
+	"testing"
+
+	"bcache/internal/trace"
+	"bcache/internal/workload"
+)
+
+// TestCompressionRatio: on a real benchmark stream the delta format must
+// be much smaller than the fixed-width v1 format (locality is the point).
+func TestCompressionRatio(t *testing.T) {
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v1, v2 bytes.Buffer
+	w1, _ := trace.NewWriter(&v1)
+	w2, err := trace.NewCompressedWriter(&v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		rec, _ := g.Next()
+		if err := w1.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w2.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w1.Close()
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(v2.Len()) / float64(v1.Len())
+	if ratio > 0.55 {
+		t.Fatalf("v2/v1 size ratio %.2f, want < 0.55 (v1 %d, v2 %d bytes)", ratio, v1.Len(), v2.Len())
+	}
+
+	// And the compressed stream must replay identically.
+	g2, _ := workload.New(p)
+	r, err := trace.NewCompressedReader(bytes.NewReader(v2.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000; i++ {
+		want, _ := g2.Next()
+		got, ok := r.Next()
+		if !ok || got != want {
+			t.Fatalf("v2 replay diverged at %d", i)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package trace defines the instruction-trace record that connects
+// workload generation, cache models, and the processor timing model, plus
+// a compact binary on-disk format for saving and replaying traces.
+//
+// The paper drives its evaluation with SimpleScalar executing Alpha
+// binaries; this repository substitutes deterministic synthetic traces
+// (package workload). The record deliberately carries the same
+// information sim-outorder's core consumed: PC, operation class, memory
+// address, register dependences, and execution latency.
+package trace
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+)
+
+// Kind classifies an instruction for the timing model.
+type Kind uint8
+
+// Instruction classes.
+const (
+	Int    Kind = iota // simple ALU op, 1-cycle
+	FP                 // floating-point op, multi-cycle
+	Branch             // control transfer (modelled with ideal prediction)
+	Load               // memory read; latency from the data cache
+	Store              // memory write; retires without waiting for the cache
+	kindCount
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case FP:
+		return "fp"
+	case Branch:
+		return "branch"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// IsMem reports whether the instruction accesses the data cache.
+func (k Kind) IsMem() bool { return k == Load || k == Store }
+
+// NumRegs is the size of the architectural register file visible in
+// traces. Register 0 reads as "no operand" (like Alpha's R31/F31 zero
+// registers, which SimpleScalar also treats as always-ready).
+const NumRegs = 32
+
+// Record is one executed instruction.
+type Record struct {
+	PC   addr.Addr // byte address of the instruction
+	Mem  addr.Addr // effective address; meaningful only when Kind.IsMem()
+	Kind Kind
+	Src1 uint8 // source registers; 0 = none
+	Src2 uint8
+	Dst  uint8 // destination register; 0 = none
+	Lat  uint8 // execution latency in cycles (excluding cache time)
+}
+
+// Validate reports whether the record is internally consistent.
+func (r Record) Validate() error {
+	if r.Kind >= kindCount {
+		return fmt.Errorf("trace: invalid kind %d", uint8(r.Kind))
+	}
+	if r.Src1 >= NumRegs || r.Src2 >= NumRegs || r.Dst >= NumRegs {
+		return fmt.Errorf("trace: register out of range in %+v", r)
+	}
+	if r.Lat == 0 {
+		return fmt.Errorf("trace: zero latency in %+v", r)
+	}
+	if !r.Kind.IsMem() && r.Mem != 0 {
+		return fmt.Errorf("trace: non-memory record carries address %#x", r.Mem)
+	}
+	return nil
+}
+
+// Stream produces records one at a time. Generators (package workload)
+// and file readers both implement it.
+type Stream interface {
+	// Next returns the next record and true, or a zero Record and false
+	// when the stream is exhausted.
+	Next() (Record, bool)
+}
+
+// SliceStream adapts a []Record to a Stream.
+type SliceStream struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceStream returns a Stream over recs.
+func NewSliceStream(recs []Record) *SliceStream { return &SliceStream{recs: recs} }
+
+// Next implements Stream.
+func (s *SliceStream) Next() (Record, bool) {
+	if s.pos >= len(s.recs) {
+		return Record{}, false
+	}
+	r := s.recs[s.pos]
+	s.pos++
+	return r, true
+}
+
+// Take drains up to n records from st into a slice.
+func Take(st Stream, n int) []Record {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		r, ok := st.Next()
+		if !ok {
+			break
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Limit wraps st so that at most n records are produced.
+func Limit(st Stream, n uint64) Stream { return &limitStream{st: st, left: n} }
+
+type limitStream struct {
+	st   Stream
+	left uint64
+}
+
+func (l *limitStream) Next() (Record, bool) {
+	if l.left == 0 {
+		return Record{}, false
+	}
+	l.left--
+	return l.st.Next()
+}

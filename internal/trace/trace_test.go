@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+)
+
+func randRecord(src *rng.Source) Record {
+	k := Kind(src.Intn(int(kindCount)))
+	r := Record{
+		PC:   addr.Addr(src.Uint32()),
+		Kind: k,
+		Src1: uint8(src.Intn(NumRegs)),
+		Src2: uint8(src.Intn(NumRegs)),
+		Dst:  uint8(src.Intn(NumRegs)),
+		Lat:  uint8(1 + src.Intn(8)),
+	}
+	if k.IsMem() {
+		r.Mem = addr.Addr(src.Uint32())
+	}
+	return r
+}
+
+func TestValidate(t *testing.T) {
+	good := Record{PC: 4, Kind: Int, Lat: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	bad := []Record{
+		{PC: 4, Kind: kindCount, Lat: 1},          // bad kind
+		{PC: 4, Kind: Int, Lat: 0},                // zero latency
+		{PC: 4, Kind: Int, Lat: 1, Src1: NumRegs}, // reg out of range
+		{PC: 4, Kind: Int, Lat: 1, Mem: 8},        // non-mem with address
+	}
+	for i, r := range bad {
+		if err := r.Validate(); err == nil {
+			t.Errorf("bad record %d accepted: %+v", i, r)
+		}
+	}
+}
+
+func TestRoundTripBuffer(t *testing.T) {
+	src := rng.New(21)
+	recs := make([]Record, 1000)
+	for i := range recs {
+		recs[i] = randRecord(src)
+	}
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Count() != 1000 {
+		t.Fatalf("Count = %d", w.Count())
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatalf("stream ended early at %d (err=%v)", i, r.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("stream produced extra records")
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	// Through a real file the header count is back-patched.
+	path := filepath.Join(t.TempDir(), "t.bct")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(3)
+	const n = 257
+	for i := 0; i < n; i++ {
+		if err := w.Write(randRecord(src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	r, err := NewReader(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for {
+		if _, ok := r.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != n || r.Err() != nil {
+		t.Fatalf("read %d records (err=%v), want %d", count, r.Err(), n)
+	}
+}
+
+func TestBadHeaders(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("BC"),
+		[]byte("NOPE000000000000"),
+		append([]byte("BCT1"), 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0), // bad version
+	}
+	for i, b := range cases {
+		if _, err := NewReader(bytes.NewReader(b)); err == nil {
+			t.Errorf("case %d: bad header accepted", i)
+		}
+	}
+}
+
+func TestTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.Write(Record{PC: 4, Kind: Int, Lat: 1})
+	_ = w.Close()
+	trunc := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.Next(); ok {
+		t.Fatal("truncated record decoded")
+	}
+	if r.Err() == nil {
+		t.Fatal("truncation not reported")
+	}
+}
+
+func TestWriterRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	if err := w.Write(Record{Kind: Int, Lat: 0}); err == nil {
+		t.Fatal("invalid record accepted")
+	}
+}
+
+func TestSliceStreamAndLimit(t *testing.T) {
+	recs := []Record{
+		{PC: 0, Kind: Int, Lat: 1},
+		{PC: 4, Kind: Int, Lat: 1},
+		{PC: 8, Kind: Int, Lat: 1},
+	}
+	got := Take(Limit(NewSliceStream(recs), 2), 10)
+	if len(got) != 2 || got[1].PC != 4 {
+		t.Fatalf("Limit/Take = %+v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		src := rng.New(seed)
+		var buf bytes.Buffer
+		w, _ := NewWriter(&buf)
+		recs := make([]Record, int(n)+1)
+		for i := range recs {
+			recs[i] = randRecord(src)
+			if err := w.Write(recs[i]); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		r, err := NewReader(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return false
+		}
+		for _, want := range recs {
+			got, ok := r.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := r.Next()
+		return !ok && r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	src := rng.New(1)
+	rec := randRecord(src)
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if buf.Len() > 1<<24 {
+			buf.Reset()
+		}
+		_ = w.Write(rec)
+	}
+}

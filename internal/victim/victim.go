@@ -1,0 +1,168 @@
+// Package victim implements a direct-mapped cache backed by a small
+// fully-associative victim buffer (Jouppi), the main prior technique the
+// paper compares the B-Cache against (§6.6: a 16-entry buffer).
+//
+// On a main-cache miss the buffer is probed; on a buffer hit the line is
+// swapped back into the main cache (an extra cycle in hardware — the
+// timing model charges it). Lines displaced from the main cache fall into
+// the buffer, which evicts LRU.
+package victim
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+)
+
+// Cache is a direct-mapped cache plus victim buffer. It implements
+// cache.Cache; Stats() reports the combined hit/miss behaviour (a buffer
+// hit counts as a hit).
+type Cache struct {
+	main  *cache.SetAssoc
+	buf   []entry
+	clock uint64
+	stats *cache.Stats
+	// BufferHits counts hits served from the victim buffer; these take
+	// an extra cycle when the buffer is probed after the main cache.
+	BufferHits uint64
+}
+
+type entry struct {
+	valid bool
+	dirty bool
+	line  addr.Addr // line-aligned address
+	stamp uint64
+}
+
+var _ cache.Cache = (*Cache)(nil)
+
+// New builds a direct-mapped size/lineBytes cache with an entries-line
+// fully-associative LRU victim buffer.
+func New(size, lineBytes, entries int) (*Cache, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("victim: non-positive buffer size %d", entries)
+	}
+	main, err := cache.NewDirectMapped(size, lineBytes)
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		main:  main,
+		buf:   make([]entry, entries),
+		stats: cache.NewStats(main.Geometry().Frames),
+	}, nil
+}
+
+// Entries returns the victim buffer capacity in lines.
+func (c *Cache) Entries() int { return len(c.buf) }
+
+// Access implements cache.Cache.
+func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
+	g := c.main.Geometry()
+	line := addr.Align(a, uint64(g.LineBytes))
+	frame := g.Index(a)
+
+	if c.main.Contains(a) {
+		r := c.main.Access(a, write)
+		c.stats.Record(r.Frame, true, write)
+		return r
+	}
+
+	// Main miss: probe the buffer.
+	if i := c.find(line); i >= 0 {
+		// Swap: the buffered line moves into the main cache and the
+		// displaced main line takes its buffer slot.
+		c.BufferHits++
+		bufDirty := c.buf[i].dirty
+		r := c.main.Access(a, write || bufDirty)
+		if r.Evicted {
+			c.clock++
+			c.buf[i] = entry{valid: true, dirty: r.EvictedDirty, line: r.EvictedAddr, stamp: c.clock}
+		} else {
+			c.buf[i] = entry{}
+		}
+		c.stats.Record(frame, true, write)
+		// The buffer is probed after the main cache misses: +1 cycle
+		// (paper §1: "an extra cycle is required to access the victim
+		// buffer").
+		return cache.Result{Hit: true, Frame: r.Frame, ExtraLatency: 1}
+	}
+
+	// Both miss: refill the main cache; its victim drops into the buffer.
+	r := c.main.Access(a, write)
+	res := cache.Result{Hit: false, Frame: r.Frame}
+	if r.Evicted {
+		if ev := c.insert(r.EvictedAddr, r.EvictedDirty); ev.valid {
+			// The buffer's LRU line leaves the hierarchy level entirely.
+			res.Evicted = true
+			res.EvictedAddr = ev.line
+			res.EvictedDirty = ev.dirty
+			c.stats.RecordEviction(ev.dirty)
+		}
+	}
+	c.stats.Record(frame, false, write)
+	return res
+}
+
+// find returns the buffer slot holding line, or -1.
+func (c *Cache) find(line addr.Addr) int {
+	for i := range c.buf {
+		if c.buf[i].valid && c.buf[i].line == line {
+			return i
+		}
+	}
+	return -1
+}
+
+// insert places a displaced line into the buffer, returning the entry it
+// displaced (possibly invalid).
+func (c *Cache) insert(line addr.Addr, dirty bool) entry {
+	slot := 0
+	for i := range c.buf {
+		if !c.buf[i].valid {
+			slot = i
+			break
+		}
+		if c.buf[i].stamp < c.buf[slot].stamp {
+			slot = i
+		}
+	}
+	old := c.buf[slot]
+	c.clock++
+	c.buf[slot] = entry{valid: true, dirty: dirty, line: line, stamp: c.clock}
+	if !old.valid {
+		return entry{}
+	}
+	return old
+}
+
+// Contains implements cache.Cache (main cache or buffer).
+func (c *Cache) Contains(a addr.Addr) bool {
+	if c.main.Contains(a) {
+		return true
+	}
+	return c.find(addr.Align(a, uint64(c.main.Geometry().LineBytes))) >= 0
+}
+
+// Stats implements cache.Cache.
+func (c *Cache) Stats() *cache.Stats { return c.stats }
+
+// Geometry implements cache.Cache (the main cache's shape).
+func (c *Cache) Geometry() cache.Geometry { return c.main.Geometry() }
+
+// Name implements cache.Cache.
+func (c *Cache) Name() string {
+	return fmt.Sprintf("%dkB-dm+victim%d", c.main.Geometry().SizeBytes/1024, len(c.buf))
+}
+
+// Reset implements cache.Cache.
+func (c *Cache) Reset() {
+	c.main.Reset()
+	for i := range c.buf {
+		c.buf[i] = entry{}
+	}
+	c.clock = 0
+	c.BufferHits = 0
+	c.stats.Reset()
+}

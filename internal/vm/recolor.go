@@ -1,0 +1,160 @@
+package vm
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+)
+
+// This file implements the paper's §7.1 operating-system alternative to
+// the B-Cache: a Cache Miss Lookaside (CML) buffer records which pages
+// accumulate cache misses, and a software policy dynamically remaps
+// (recolors) hot-missing pages into page frames whose cache color is
+// underutilized — removing conflict misses without touching the cache
+// hardware (Bershad et al.). The paper notes this "enables a
+// direct-mapped cache to perform nearly as well as a two-way set
+// associative cache"; the B-Cache reaches 4-way entirely in hardware.
+
+// Remap moves vpn onto a free frame whose low colorBits equal color,
+// freeing the old frame, and returns the new frame number. The page must
+// already be mapped.
+func (as *AddressSpace) Remap(vpn, color addr.Addr, colorBits uint) (addr.Addr, error) {
+	old, ok := as.table[vpn]
+	if !ok {
+		return 0, fmt.Errorf("vm: remap of unmapped page %#x", vpn)
+	}
+	if colorBits > addr.Bits-as.pageBits {
+		return 0, fmt.Errorf("vm: %d color bits exceed frame width", colorBits)
+	}
+	mask := addr.Addr(1)<<colorBits - 1
+	frameSpace := addr.Addr(1) << (addr.Bits - as.pageBits)
+	for tries := 0; tries < 1<<16; tries++ {
+		pfn := addr.Addr(as.src.Uint32())%frameSpace&^mask | color&mask
+		if pfn == old || as.used[pfn] {
+			continue
+		}
+		delete(as.used, old)
+		as.used[pfn] = true
+		as.table[vpn] = pfn
+		return pfn, nil
+	}
+	return 0, fmt.Errorf("vm: no free frame of color %#x", color)
+}
+
+// FrameOf returns the frame currently mapped for vpn, if any.
+func (as *AddressSpace) FrameOf(vpn addr.Addr) (addr.Addr, bool) {
+	pfn, ok := as.table[vpn]
+	return pfn, ok
+}
+
+// Recolorer is the CML buffer plus remapping policy.
+type Recolorer struct {
+	AS *AddressSpace
+	// colorBits is log2(cache size / page size): the page-number bits
+	// that select the cache sets a page occupies.
+	colorBits uint
+	// Threshold is the CML miss count that triggers a remap.
+	Threshold int
+	// DecayEvery halves all CML counters after this many recorded
+	// misses, so stale history does not trigger remaps. Zero disables.
+	DecayEvery uint64
+
+	cml      map[addr.Addr]int // vpn → recent miss count
+	rev      map[addr.Addr]addr.Addr
+	pressure []uint64 // misses per color
+	ticks    uint64
+
+	// Remaps counts pages moved.
+	Remaps uint64
+}
+
+// NewRecolorer builds the policy for a physically-indexed cache of
+// cacheBytes bytes over as.
+func NewRecolorer(as *AddressSpace, cacheBytes, threshold int) (*Recolorer, error) {
+	if as == nil {
+		return nil, fmt.Errorf("vm: nil address space")
+	}
+	if cacheBytes <= 0 || !addr.IsPow2(uint64(cacheBytes)) {
+		return nil, fmt.Errorf("vm: cache size %d not a positive power of two", cacheBytes)
+	}
+	pageBytes := 1 << as.pageBits
+	if cacheBytes < pageBytes {
+		return nil, fmt.Errorf("vm: cache (%d) smaller than a page (%d): nothing to color", cacheBytes, pageBytes)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("vm: non-positive remap threshold")
+	}
+	colorBits := addr.Log2(uint64(cacheBytes / pageBytes))
+	return &Recolorer{
+		AS:         as,
+		colorBits:  colorBits,
+		Threshold:  threshold,
+		DecayEvery: 4096,
+		cml:        make(map[addr.Addr]int),
+		rev:        make(map[addr.Addr]addr.Addr),
+		pressure:   make([]uint64, 1<<colorBits),
+	}, nil
+}
+
+// Colors returns the number of page colors the cache has.
+func (r *Recolorer) Colors() int { return len(r.pressure) }
+
+// colorOf extracts a physical address's page color.
+func (r *Recolorer) colorOf(pa addr.Addr) addr.Addr {
+	return addr.Field(pa, r.AS.pageBits, r.colorBits)
+}
+
+// Note records that va is in use (so the reverse map stays fresh).
+// Callers typically invoke it on every translation.
+func (r *Recolorer) Note(va, pa addr.Addr) {
+	r.rev[pa>>r.AS.pageBits] = va >> r.AS.pageBits
+}
+
+// OnMiss records a cache miss on physical address pa and remaps the
+// page when it crosses the threshold. It reports whether a remap
+// happened; after a remap the caller must re-translate the page's
+// addresses (a real OS would also flush the page's cache lines).
+func (r *Recolorer) OnMiss(pa addr.Addr) bool {
+	r.ticks++
+	if r.DecayEvery > 0 && r.ticks%r.DecayEvery == 0 {
+		for k := range r.cml {
+			r.cml[k] /= 2
+		}
+		for c := range r.pressure {
+			r.pressure[c] /= 2
+		}
+	}
+	color := r.colorOf(pa)
+	r.pressure[color]++
+	vpn, ok := r.rev[pa>>r.AS.pageBits]
+	if !ok {
+		return false
+	}
+	r.cml[vpn]++
+	if r.cml[vpn] < r.Threshold {
+		return false
+	}
+	// Remap to the least-pressured color — but only with hysteresis
+	// (the target must carry under half the source's misses), otherwise
+	// hot pages ping-pong between colors and every move costs a page of
+	// cold refills.
+	best := addr.Addr(0)
+	for c := 1; c < len(r.pressure); c++ {
+		if r.pressure[c] < r.pressure[best] {
+			best = addr.Addr(c)
+		}
+	}
+	if best == color || r.pressure[best] >= r.pressure[color]/2 {
+		r.cml[vpn] = 0
+		return false
+	}
+	newPfn, err := r.AS.Remap(vpn, best, r.colorBits)
+	if err != nil {
+		return false
+	}
+	delete(r.rev, pa>>r.AS.pageBits)
+	r.rev[newPfn] = vpn
+	r.cml[vpn] = 0
+	r.Remaps++
+	return true
+}

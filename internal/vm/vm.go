@@ -1,0 +1,198 @@
+// Package vm models the virtual-memory machinery behind the paper's
+// §6.8 discussion of virtually- vs physically-addressed caches.
+//
+// The B-Cache needs three tag bits *no later than* the set index, because
+// they feed the programmable decoder. In a virtually-indexed,
+// physically-tagged (V/P) cache those bits would normally come out of the
+// TLB too late. The paper's answer is to treat them as part of the
+// virtual index — which is exact when the OS page allocator preserves the
+// low bits of the frame number (page coloring), and a benign virtual
+// index otherwise.
+//
+// This package provides the pieces to demonstrate that: an address space
+// with pluggable page-allocation policies (coloring vs. arbitrary), a
+// small fully-associative TLB, and a VIPT wrapper that indexes an
+// underlying cache with virtual bits while tagging with physical ones.
+package vm
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+// AllocPolicy selects how physical frames are assigned to virtual pages.
+type AllocPolicy int
+
+// Allocation policies.
+const (
+	// Colored preserves the low ColorBits of the virtual page number in
+	// the physical frame number (page coloring): the bits the B-Cache's
+	// PD borrows are then identical in virtual and physical addresses.
+	Colored AllocPolicy = iota
+	// Arbitrary assigns frames pseudo-randomly, the worst case for a
+	// virtually-indexed cache.
+	Arbitrary
+)
+
+// Config shapes an AddressSpace.
+type Config struct {
+	PageBytes int // page size (power of two)
+	// ColorBits is the number of low frame-number bits preserved under
+	// the Colored policy.
+	ColorBits uint
+	Policy    AllocPolicy
+	Seed      uint64
+}
+
+// AddressSpace lazily maps virtual pages to physical frames.
+type AddressSpace struct {
+	cfg      Config
+	pageBits uint
+	table    map[addr.Addr]addr.Addr // vpn → pfn
+	used     map[addr.Addr]bool      // pfn
+	src      *rng.Source
+}
+
+// NewAddressSpace validates cfg and returns an empty address space.
+func NewAddressSpace(cfg Config) (*AddressSpace, error) {
+	if cfg.PageBytes <= 0 || !addr.IsPow2(uint64(cfg.PageBytes)) {
+		return nil, fmt.Errorf("vm: page size %d is not a positive power of two", cfg.PageBytes)
+	}
+	pageBits := addr.Log2(uint64(cfg.PageBytes))
+	if cfg.ColorBits > addr.Bits-pageBits {
+		return nil, fmt.Errorf("vm: %d color bits exceed frame number width", cfg.ColorBits)
+	}
+	return &AddressSpace{
+		cfg:      cfg,
+		pageBits: pageBits,
+		table:    make(map[addr.Addr]addr.Addr),
+		used:     make(map[addr.Addr]bool),
+		src:      rng.New(cfg.Seed ^ 0xA11C),
+	}, nil
+}
+
+// PageBits returns log2(page size).
+func (as *AddressSpace) PageBits() uint { return as.pageBits }
+
+// Pages returns the number of mapped pages.
+func (as *AddressSpace) Pages() int { return len(as.table) }
+
+// Translate maps a virtual address to its physical address, allocating a
+// frame on first touch.
+func (as *AddressSpace) Translate(va addr.Addr) addr.Addr {
+	vpn := va >> as.pageBits
+	pfn, ok := as.table[vpn]
+	if !ok {
+		pfn = as.allocate(vpn)
+		as.table[vpn] = pfn
+	}
+	return pfn<<as.pageBits | addr.Field(va, 0, as.pageBits)
+}
+
+// allocate picks a free frame for vpn under the configured policy.
+func (as *AddressSpace) allocate(vpn addr.Addr) addr.Addr {
+	frameSpace := addr.Addr(1) << (addr.Bits - as.pageBits)
+	for tries := 0; tries < 1<<16; tries++ {
+		pfn := addr.Addr(as.src.Uint32()) % frameSpace
+		if as.cfg.Policy == Colored {
+			mask := addr.Addr(1)<<as.cfg.ColorBits - 1
+			pfn = pfn&^mask | vpn&mask
+		}
+		if !as.used[pfn] {
+			as.used[pfn] = true
+			return pfn
+		}
+	}
+	panic("vm: physical frame space exhausted")
+}
+
+// TLB is a small fully-associative translation buffer with LRU
+// replacement.
+type TLB struct {
+	entries []tlbEntry
+	clock   uint64
+	// Hits and Misses count lookups.
+	Hits   uint64
+	Misses uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	vpn   addr.Addr
+	pfn   addr.Addr
+	stamp uint64
+}
+
+// NewTLB returns a TLB with the given number of entries.
+func NewTLB(entries int) (*TLB, error) {
+	if entries <= 0 {
+		return nil, fmt.Errorf("vm: TLB needs at least one entry")
+	}
+	return &TLB{entries: make([]tlbEntry, entries)}, nil
+}
+
+// Lookup translates va through the TLB, filling from as on a miss,
+// and reports whether it hit.
+func (t *TLB) Lookup(as *AddressSpace, va addr.Addr) (pa addr.Addr, hit bool) {
+	vpn := va >> as.pageBits
+	for i := range t.entries {
+		e := &t.entries[i]
+		if e.valid && e.vpn == vpn {
+			t.clock++
+			e.stamp = t.clock
+			t.Hits++
+			return e.pfn<<as.pageBits | addr.Field(va, 0, as.pageBits), true
+		}
+	}
+	t.Misses++
+	pa = as.Translate(va)
+	victim := 0
+	for i := range t.entries {
+		if !t.entries[i].valid {
+			victim = i
+			break
+		}
+		if t.entries[i].stamp < t.entries[victim].stamp {
+			victim = i
+		}
+	}
+	t.clock++
+	t.entries[victim] = tlbEntry{valid: true, vpn: vpn, pfn: pa >> as.pageBits, stamp: t.clock}
+	return pa, false
+}
+
+// VIPT wraps an underlying physically-tagged cache so that its low
+// indexBits of addressing come from the virtual address while everything
+// above comes from the physical address — the §6.8 configuration. For a
+// B-Cache, indexBits should cover offset+index+log2(MF) bits: the bits
+// the decoders (including the PD's borrowed tag bits) consume.
+type VIPT struct {
+	L1        cache.Cache
+	AS        *AddressSpace
+	TLB       *TLB
+	indexBits uint
+}
+
+// NewVIPT builds the wrapper. indexBits is the number of low address
+// bits taken from the virtual address.
+func NewVIPT(l1 cache.Cache, as *AddressSpace, tlb *TLB, indexBits uint) (*VIPT, error) {
+	if l1 == nil || as == nil || tlb == nil {
+		return nil, fmt.Errorf("vm: nil component")
+	}
+	if indexBits >= addr.Bits {
+		return nil, fmt.Errorf("vm: %d index bits exceed the address width", indexBits)
+	}
+	return &VIPT{L1: l1, AS: as, TLB: tlb, indexBits: indexBits}, nil
+}
+
+// Access translates va and accesses the cache with the hybrid
+// virtual-index/physical-tag address.
+func (v *VIPT) Access(va addr.Addr, write bool) cache.Result {
+	pa, _ := v.TLB.Lookup(v.AS, va)
+	mask := addr.Addr(1)<<v.indexBits - 1
+	hybrid := pa&^mask | va&mask
+	return v.L1.Access(hybrid, write)
+}

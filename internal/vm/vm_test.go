@@ -1,0 +1,189 @@
+package vm
+
+import (
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/rng"
+)
+
+func newAS(t testing.TB, policy AllocPolicy, colorBits uint) *AddressSpace {
+	t.Helper()
+	as, err := NewAddressSpace(Config{PageBytes: 8192, ColorBits: colorBits, Policy: policy, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return as
+}
+
+func TestTranslateStable(t *testing.T) {
+	as := newAS(t, Arbitrary, 0)
+	va := addr.Addr(0x12345678)
+	p1 := as.Translate(va)
+	p2 := as.Translate(va)
+	if p1 != p2 {
+		t.Fatalf("translation not stable: %#x vs %#x", p1, p2)
+	}
+	// Page offset preserved.
+	if addr.Field(p1, 0, 13) != addr.Field(va, 0, 13) {
+		t.Fatalf("page offset changed: %#x -> %#x", va, p1)
+	}
+	// Same page, different offset → same frame.
+	if as.Translate(va+1)>>13 != p1>>13 {
+		t.Fatal("same-page addresses got different frames")
+	}
+	if as.Pages() != 1 {
+		t.Fatalf("pages = %d, want 1", as.Pages())
+	}
+}
+
+func TestDistinctPagesDistinctFrames(t *testing.T) {
+	as := newAS(t, Arbitrary, 0)
+	seen := map[addr.Addr]bool{}
+	for i := 0; i < 500; i++ {
+		pfn := as.Translate(addr.Addr(i)*8192) >> 13
+		if seen[pfn] {
+			t.Fatalf("frame %#x assigned twice", pfn)
+		}
+		seen[pfn] = true
+	}
+}
+
+func TestColoringPreservesLowBits(t *testing.T) {
+	// With 3 color bits, the low 3 frame-number bits equal the low 3
+	// virtual-page-number bits: the PD's borrowed tag bits match.
+	as := newAS(t, Colored, 3)
+	for i := 0; i < 1000; i++ {
+		va := addr.Addr(i) * 8192
+		pa := as.Translate(va)
+		if (pa>>13)&7 != (va>>13)&7 {
+			t.Fatalf("coloring violated for page %d: pa %#x", i, pa)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := NewAddressSpace(Config{PageBytes: 1000}); err == nil {
+		t.Fatal("non-power-of-two page accepted")
+	}
+	if _, err := NewAddressSpace(Config{PageBytes: 8192, ColorBits: 40}); err == nil {
+		t.Fatal("oversized color bits accepted")
+	}
+	if _, err := NewTLB(0); err == nil {
+		t.Fatal("zero-entry TLB accepted")
+	}
+}
+
+func TestTLBHitsAndLRU(t *testing.T) {
+	as := newAS(t, Arbitrary, 0)
+	tlb, err := NewTLB(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := addr.Addr(0), addr.Addr(8192), addr.Addr(16384)
+	tlb.Lookup(as, a) // miss
+	tlb.Lookup(as, b) // miss
+	if _, hit := tlb.Lookup(as, a); !hit {
+		t.Fatal("resident translation missed")
+	}
+	tlb.Lookup(as, c) // miss: evicts b (LRU)
+	if _, hit := tlb.Lookup(as, a); !hit {
+		t.Fatal("MRU translation evicted")
+	}
+	if _, hit := tlb.Lookup(as, b); hit {
+		t.Fatal("LRU translation survived eviction")
+	}
+	if tlb.Hits != 2 || tlb.Misses != 4 {
+		t.Fatalf("TLB counters hits=%d misses=%d, want 2/4", tlb.Hits, tlb.Misses)
+	}
+}
+
+func TestTLBMatchesDirectTranslation(t *testing.T) {
+	as := newAS(t, Arbitrary, 0)
+	tlb, _ := NewTLB(16)
+	src := rng.New(5)
+	for i := 0; i < 5000; i++ {
+		va := addr.Addr(src.Intn(1 << 26))
+		pa, _ := tlb.Lookup(as, va)
+		if pa != as.Translate(va) {
+			t.Fatalf("TLB translation diverged at %#x", va)
+		}
+	}
+}
+
+// TestVIPTBCacheWithColoring is the §6.8 result: with page coloring that
+// preserves the PD's three borrowed bits, a virtually-indexed,
+// physically-tagged B-Cache behaves access-for-access like a physically-
+// indexed one.
+func TestVIPTBCacheWithColoring(t *testing.T) {
+	const size, line = 16384, 32
+	mkBC := func() *core.BCache {
+		bc, err := core.New(core.Config{SizeBytes: size, LineBytes: line, MF: 8, BAS: 8, Policy: cache.LRU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return bc
+	}
+	as := newAS(t, Colored, 4)
+	tlb, _ := NewTLB(64)
+	vipt, err := NewVIPT(mkBC(), as, tlb, 17) // offset(5)+index(9)+log2(MF)(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipt := mkBC()
+
+	src := rng.New(9)
+	for i := 0; i < 100000; i++ {
+		va := addr.Addr(src.Intn(1 << 22))
+		write := src.Intn(4) == 0
+		rv := vipt.Access(va, write)
+		rp := pipt.Access(as.Translate(va), write)
+		if rv.Hit != rp.Hit {
+			t.Fatalf("access %d (%#x): VIPT hit=%v, PIPT hit=%v", i, va, rv.Hit, rp.Hit)
+		}
+	}
+	if err := vipt.L1.(*core.BCache).CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVIPTArbitraryStillSound: without coloring the virtual-index
+// B-Cache may map pages differently, but it must stay internally
+// consistent (invariants, hit-after-fill).
+func TestVIPTArbitraryStillSound(t *testing.T) {
+	bc, err := core.New(core.Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := newAS(t, Arbitrary, 0)
+	tlb, _ := NewTLB(64)
+	vipt, err := NewVIPT(bc, as, tlb, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	for i := 0; i < 50000; i++ {
+		va := addr.Addr(src.Intn(1 << 22))
+		vipt.Access(va, false)
+		if !vipt.Access(va, false).Hit {
+			t.Fatalf("address %#x missed immediately after fill", va)
+		}
+	}
+	if err := bc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVIPTValidation(t *testing.T) {
+	as := newAS(t, Arbitrary, 0)
+	tlb, _ := NewTLB(4)
+	if _, err := NewVIPT(nil, as, tlb, 14); err == nil {
+		t.Fatal("nil cache accepted")
+	}
+	dm, _ := cache.NewDirectMapped(1024, 32)
+	if _, err := NewVIPT(dm, as, tlb, 64); err == nil {
+		t.Fatal("oversized index bits accepted")
+	}
+}

@@ -1,0 +1,49 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"bcache/internal/trace"
+	"bcache/internal/workload"
+)
+
+// Example shows the basic generator loop: pick a benchmark profile,
+// build its deterministic generator, and consume trace records.
+func Example() {
+	p, err := workload.ByName("equake")
+	if err != nil {
+		panic(err)
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		panic(err)
+	}
+	var mem int
+	const n = 100000
+	for i := 0; i < n; i++ {
+		rec, _ := g.Next()
+		if rec.Kind.IsMem() {
+			mem++
+		}
+	}
+	fmt.Printf("%s (%s): %d%% memory operations\n", p.Name, p.Suite, 100*mem/n)
+	// Output:
+	// equake (CFP2K): 39% memory operations
+}
+
+// ExampleLimit bounds an infinite benchmark stream with trace.Limit.
+func ExampleLimit() {
+	p, _ := workload.ByName("gzip")
+	g, _ := workload.New(p)
+	st := trace.Limit(g, 3)
+	count := 0
+	for {
+		if _, ok := st.Next(); !ok {
+			break
+		}
+		count++
+	}
+	fmt.Println(count, "records")
+	// Output:
+	// 3 records
+}

@@ -1,0 +1,368 @@
+package workload
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+	"bcache/internal/trace"
+)
+
+// Address-space layout of synthetic programs. Code and data live in
+// disjoint ranges so instruction and data streams interact with their
+// caches independently, as in a real process image.
+const (
+	// CodeBase is where synthetic text segments start.
+	CodeBase addr.Addr = 0x0040_0000
+	// DataBase is the lowest address profiles should place data regions.
+	DataBase addr.Addr = 0x1000_0000
+
+	instrBytes  = 4  // fixed instruction size (Alpha-like)
+	chaseGrain  = 32 // pointer-chase node granularity (one cache line)
+	streamGrain = 8  // sequential-walk element size (a float64)
+	hotGrain    = 32 // hot-spot line granularity
+)
+
+// Generator turns a Profile into an endless instruction stream.
+// It implements trace.Stream (Next never returns false; wrap with
+// trace.Limit to bound a run).
+type Generator struct {
+	p   *Profile
+	src *rng.Source
+
+	// code walk
+	segBase []addr.Addr
+	curSeg  int
+	segOff  int // instruction offset within segment
+	blkLeft int // instructions left in current basic block
+
+	// data walk
+	walkers   []regionWalker
+	cumWeight []float64
+	curRegion int
+	runLeft   int
+
+	// register dependence model
+	hist    [64]uint8 // ring of recent destination registers
+	histLen int
+	histPos int
+	nextDst uint8
+}
+
+var _ trace.Stream = (*Generator)(nil)
+
+// New validates p and returns a deterministic generator for it.
+// Two generators built from equal profiles produce identical streams.
+func New(p *Profile) (*Generator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	g := &Generator{p: p, src: rng.New(p.Seed)}
+
+	// Scatter the segments across the code footprint at line granularity,
+	// like functions in a real text segment. (A regular spacing would
+	// make segment addresses collide only at correlated strides, which
+	// distorts both set-associative folding and the parity of the tag
+	// bits the B-Cache's programmable decoder borrows.) When the
+	// footprint exceeds the instruction cache, segments alias in it; the
+	// hot subset (profile.Code.HotSegs) concentrates the pressure.
+	const lineBytes = 32
+	if p.Code.Footprint/lineBytes < p.Code.Segments {
+		return nil, fmt.Errorf("workload %s: %d segments do not fit footprint %d",
+			p.Name, p.Code.Segments, p.Code.Footprint)
+	}
+	slots := make([]int, p.Code.Footprint/lineBytes)
+	g.src.Perm(slots)
+	g.segBase = make([]addr.Addr, p.Code.Segments)
+	for i := range g.segBase {
+		g.segBase[i] = CodeBase + addr.Addr(slots[i]*lineBytes)
+	}
+
+	g.walkers = make([]regionWalker, len(p.Regions))
+	g.cumWeight = make([]float64, len(p.Regions))
+	var sum float64
+	for i := range p.Regions {
+		w, err := newRegionWalker(&p.Regions[i], g.src)
+		if err != nil {
+			return nil, fmt.Errorf("workload %s: region %d: %w", p.Name, i, err)
+		}
+		g.walkers[i] = w
+		sum += p.Regions[i].Weight
+		g.cumWeight[i] = sum
+	}
+	for i := range g.cumWeight {
+		g.cumWeight[i] /= sum
+	}
+
+	g.blkLeft = g.src.Geometric(p.Code.SegLen)
+	g.runLeft = g.runLength(0)
+	return g, nil
+}
+
+// Profile returns the profile this generator was built from.
+func (g *Generator) Profile() *Profile { return g.p }
+
+func (g *Generator) runLength(region int) int {
+	mean := g.p.Regions[region].RunLen
+	if mean < 1 {
+		mean = 4
+	}
+	return g.src.Geometric(mean)
+}
+
+// pickRegion draws a region index by weight.
+func (g *Generator) pickRegion() int {
+	x := g.src.Float64()
+	for i, c := range g.cumWeight {
+		if x < c {
+			return i
+		}
+	}
+	return len(g.cumWeight) - 1
+}
+
+// nextPC advances the code walk and reports whether the *previous*
+// instruction ends its basic block (i.e. is a branch).
+func (g *Generator) nextPC() (pc addr.Addr, isBranch bool) {
+	pc = g.segBase[g.curSeg] + addr.Addr(g.segOff*instrBytes)
+	g.blkLeft--
+	if g.blkLeft > 0 {
+		g.segOff++
+		return pc, false
+	}
+	// Branch. Most basic blocks fall through (or branch a short distance
+	// forward): fetch continues sequentially. Otherwise transfer to
+	// another segment — hot subset with probability HotFrac, anywhere
+	// otherwise — entering at a random line of its body (functions have
+	// many branch targets, not just their entry).
+	c := g.p.Code
+	if g.src.Float64() < c.FallThrough {
+		g.segOff++
+		g.blkLeft = g.src.Geometric(c.SegLen)
+		return pc, true
+	}
+	if c.HotSegs > 0 && g.src.Float64() < c.HotFrac {
+		g.curSeg = g.src.Intn(c.HotSegs)
+	} else {
+		g.curSeg = g.src.Intn(c.Segments)
+	}
+	body := c.BodyLines
+	if body <= 0 {
+		body = 1
+	}
+	// Branch targets concentrate near the segment entry (loop heads and
+	// call sites early in a function); deep-body lines are reached
+	// rarely, giving the footprint a long cold tail.
+	entry := g.src.Geometric(2.5) - 1
+	if entry >= body {
+		entry = body - 1
+	}
+	const instrPerLine = 32 / instrBytes
+	g.segOff = entry * instrPerLine
+	g.blkLeft = g.src.Geometric(c.SegLen)
+	return pc, true
+}
+
+// source returns a source register drawn from the recent-destination
+// history at a distance distributed around DepDist, or 0 (no operand)
+// when history is empty.
+func (g *Generator) source() uint8 {
+	if g.histLen == 0 {
+		return 0
+	}
+	d := g.src.Geometric(g.p.DepDist)
+	if d > g.histLen {
+		d = g.histLen
+	}
+	idx := (g.histPos - d + len(g.hist)*2) % len(g.hist)
+	return g.hist[idx]
+}
+
+func (g *Generator) destination() uint8 {
+	g.nextDst++
+	if g.nextDst >= trace.NumRegs {
+		g.nextDst = 1
+	}
+	d := g.nextDst
+	g.hist[g.histPos] = d
+	g.histPos = (g.histPos + 1) % len(g.hist)
+	if g.histLen < len(g.hist) {
+		g.histLen++
+	}
+	return d
+}
+
+// Next implements trace.Stream; the stream is infinite.
+func (g *Generator) Next() (trace.Record, bool) {
+	pc, isBranch := g.nextPC()
+	rec := trace.Record{PC: pc, Lat: 1}
+
+	switch {
+	case isBranch:
+		rec.Kind = trace.Branch
+		rec.Src1 = g.source()
+	case g.src.Float64() < g.p.Mix.Mem:
+		if g.runLeft <= 0 {
+			g.curRegion = g.pickRegion()
+			g.runLeft = g.runLength(g.curRegion)
+		}
+		g.runLeft--
+		a, write := g.walkers[g.curRegion].next(g.src)
+		rec.Mem = a
+		rec.Src1 = g.source() // address base register
+		if write {
+			rec.Kind = trace.Store
+			rec.Src2 = g.source() // value being stored
+		} else {
+			rec.Kind = trace.Load
+			rec.Dst = g.destination()
+		}
+	case g.src.Float64() < g.p.Mix.FP:
+		rec.Kind = trace.FP
+		rec.Lat = g.p.FPLat
+		if rec.Lat == 0 {
+			rec.Lat = 4
+		}
+		rec.Src1 = g.source()
+		rec.Src2 = g.source()
+		rec.Dst = g.destination()
+	default:
+		rec.Kind = trace.Int
+		rec.Src1 = g.source()
+		rec.Src2 = g.source()
+		rec.Dst = g.destination()
+	}
+	return rec, true
+}
+
+// regionWalker produces the address stream of one data region.
+type regionWalker interface {
+	next(src *rng.Source) (a addr.Addr, write bool)
+}
+
+func newRegionWalker(r *Region, src *rng.Source) (regionWalker, error) {
+	switch r.Kind {
+	case Sequential:
+		return &seqWalker{r: r}, nil
+	case Strided:
+		return &strideWalker{r: r}, nil
+	case PointerChase:
+		lines := r.Size / chaseGrain
+		if lines < 2 {
+			return nil, fmt.Errorf("pointer-chase region smaller than two lines")
+		}
+		perm := make([]int, lines)
+		src.Cycle(perm)
+		return &chaseWalker{r: r, perm: perm}, nil
+	case HotSpot:
+		return &hotWalker{r: r}, nil
+	case ConflictAlias:
+		w := r.Width
+		if w <= 0 {
+			w = 1
+		}
+		aw := &aliasWalker{r: r, width: w}
+		if r.Scatter {
+			// Draw Degree distinct slots from a 256-slot window so block
+			// tags are uncorrelated while all blocks stay index-aligned
+			// (AliasStride multiples keep the same set in every cache
+			// size up to AliasStride).
+			if r.Degree > 256 {
+				return nil, fmt.Errorf("scatter supports at most 256 blocks, got %d", r.Degree)
+			}
+			slots := make([]int, 256)
+			src.Perm(slots)
+			aw.slots = slots[:r.Degree]
+		}
+		return aw, nil
+	default:
+		return nil, fmt.Errorf("unknown pattern %v", r.Kind)
+	}
+}
+
+func isWrite(r *Region, src *rng.Source) bool {
+	return r.WriteFrac > 0 && src.Float64() < r.WriteFrac
+}
+
+type seqWalker struct {
+	r   *Region
+	pos int
+}
+
+func (w *seqWalker) next(src *rng.Source) (addr.Addr, bool) {
+	a := w.r.Base + addr.Addr(w.pos)
+	w.pos += streamGrain
+	if w.pos >= w.r.Size {
+		w.pos = 0
+	}
+	return a, isWrite(w.r, src)
+}
+
+type strideWalker struct {
+	r   *Region
+	pos int
+}
+
+func (w *strideWalker) next(src *rng.Source) (addr.Addr, bool) {
+	a := w.r.Base + addr.Addr(w.pos)
+	w.pos += w.r.Stride
+	if w.pos >= w.r.Size {
+		w.pos %= w.r.Size
+	}
+	return a, isWrite(w.r, src)
+}
+
+type chaseWalker struct {
+	r    *Region
+	perm []int
+	cur  int
+}
+
+func (w *chaseWalker) next(src *rng.Source) (addr.Addr, bool) {
+	w.cur = w.perm[w.cur]
+	return w.r.Base + addr.Addr(w.cur*chaseGrain), isWrite(w.r, src)
+}
+
+type hotWalker struct {
+	r *Region
+}
+
+func (w *hotWalker) next(src *rng.Source) (addr.Addr, bool) {
+	// Quadratic skew: line i is drawn with density ∝ 1/sqrt(i), giving a
+	// stack-frame-like concentration on the lowest lines.
+	x := src.Float64()
+	i := int(x * x * float64(w.r.Hot))
+	if i >= w.r.Hot {
+		i = w.r.Hot - 1
+	}
+	return w.r.Base + addr.Addr(i*hotGrain), isWrite(w.r, src)
+}
+
+type aliasWalker struct {
+	r     *Region
+	width int
+	slots []int // non-nil in scatter mode
+	block int
+	line  int
+}
+
+func (w *aliasWalker) next(src *rng.Source) (addr.Addr, bool) {
+	slot := w.block
+	if w.slots != nil {
+		slot = w.slots[w.block]
+	}
+	a := w.r.Base + addr.Addr(slot*w.r.AliasStride+w.line*chaseGrain)
+	w.line++
+	if w.line >= w.width {
+		w.line = 0
+		if w.r.RandomOrder {
+			w.block = src.Intn(w.r.Degree)
+		} else {
+			w.block++
+			if w.block >= w.r.Degree {
+				w.block = 0
+			}
+		}
+	}
+	return a, isWrite(w.r, src)
+}

@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+)
+
+// goldenStreamHashes pins the first 50,000 records of every benchmark:
+// an accidental change to the generators, the PRNG, or a profile would
+// silently shift every experiment result, so it must fail loudly here
+// instead. If you *intended* to change a profile, regenerate the table
+// (see streamHash) and update EXPERIMENTS.md alongside it.
+var goldenStreamHashes = map[string]uint64{
+	"bzip2":    0xb7006f81fd2f92af,
+	"crafty":   0xd0459a519a6db7b3,
+	"eon":      0x7006251fbe745f1,
+	"gap":      0xd32c0d309c964240,
+	"gcc":      0xe1b419f8b0ca66de,
+	"gzip":     0xab7032187bde29e5,
+	"mcf":      0xa36b4051d39b3864,
+	"parser":   0xd709debb9d76f356,
+	"perlbmk":  0x7c16b2c41bf8917a,
+	"twolf":    0xfaebe0acb3caf9e5,
+	"vortex":   0xe40ff5ad79381022,
+	"vpr":      0x66f1e0a61e375d6f,
+	"ammp":     0xb7d501c8fee1d977,
+	"applu":    0xc7982e1f189567c,
+	"apsi":     0xf636d81fc1bb4225,
+	"art":      0x5b1c6d14e4f88148,
+	"equake":   0xd23d109e228b614e,
+	"facerec":  0x79131f41edbc07cd,
+	"fma3d":    0x26c43c2cecb1da9d,
+	"galgel":   0xf4c641ba966bcda3,
+	"lucas":    0x4b54a88daeae7e0c,
+	"mesa":     0xdd9dc5a3f85ccff2,
+	"mgrid":    0xb73475816f18e0d0,
+	"sixtrack": 0xe5086c49b643d717,
+	"swim":     0x3506447b19dd6ecd,
+	"wupwise":  0xea1d39974358aa7d,
+}
+
+// streamHash is the canonical fingerprint of a benchmark's first n
+// records (FNV-1a over all fields, little-endian).
+func streamHash(t testing.TB, name string, n int) uint64 {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		r, _ := g.Next()
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.PC))
+		h.Write(buf[:])
+		binary.LittleEndian.PutUint64(buf[:], uint64(r.Mem))
+		h.Write(buf[:])
+		h.Write([]byte{byte(r.Kind), r.Src1, r.Src2, r.Dst, r.Lat})
+	}
+	return h.Sum64()
+}
+
+func TestGoldenStreams(t *testing.T) {
+	if len(goldenStreamHashes) != 26 {
+		t.Fatalf("golden table has %d entries, want 26", len(goldenStreamHashes))
+	}
+	for _, p := range All() {
+		want, ok := goldenStreamHashes[p.Name]
+		if !ok {
+			t.Errorf("no golden hash for %s", p.Name)
+			continue
+		}
+		if got := streamHash(t, p.Name, 50000); got != want {
+			t.Errorf("%s: stream hash %#x, want %#x — the generator or profile changed; "+
+				"if intentional, regenerate the golden table and recalibrate EXPERIMENTS.md",
+				p.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bcache/internal/addr"
+)
+
+// JSON profile definitions let users run their own synthetic workloads
+// without recompiling: `bcachesim -profile my.json`. The schema mirrors
+// Profile, with pattern kinds spelled out as strings:
+//
+//	{
+//	  "name": "mykernel",
+//	  "suite": "CINT2K",
+//	  "seed": 42,
+//	  "code": {"footprint": 32768, "segments": 32, "segLen": 6,
+//	           "hotFrac": 0.9, "hotSegs": 10, "bodyLines": 8,
+//	           "fallThrough": 0.65},
+//	  "mix": {"mem": 0.35, "fp": 0.1},
+//	  "depDist": 4,
+//	  "regions": [
+//	    {"kind": "hotspot", "hot": 256, "weight": 4, "writeFrac": 0.3},
+//	    {"kind": "sequential", "size": 1048576, "weight": 1},
+//	    {"kind": "conflictalias", "aliasStride": 16384, "degree": 6,
+//	     "width": 2, "scatter": true, "randomOrder": true, "weight": 1}
+//	  ]
+//	}
+//
+// Region bases are assigned automatically unless given explicitly.
+
+// jsonProfile is the wire schema.
+type jsonProfile struct {
+	Name    string       `json:"name"`
+	Suite   string       `json:"suite"`
+	Seed    uint64       `json:"seed"`
+	Code    jsonCode     `json:"code"`
+	Mix     jsonMix      `json:"mix"`
+	DepDist float64      `json:"depDist"`
+	FPLat   uint8        `json:"fpLat"`
+	Regions []jsonRegion `json:"regions"`
+}
+
+type jsonCode struct {
+	Footprint   int     `json:"footprint"`
+	Segments    int     `json:"segments"`
+	SegLen      float64 `json:"segLen"`
+	HotFrac     float64 `json:"hotFrac"`
+	HotSegs     int     `json:"hotSegs"`
+	BodyLines   int     `json:"bodyLines"`
+	FallThrough float64 `json:"fallThrough"`
+}
+
+type jsonMix struct {
+	Mem float64 `json:"mem"`
+	FP  float64 `json:"fp"`
+}
+
+type jsonRegion struct {
+	Kind        string  `json:"kind"`
+	Base        uint64  `json:"base"`
+	Size        int     `json:"size"`
+	Stride      int     `json:"stride"`
+	Hot         int     `json:"hot"`
+	AliasStride int     `json:"aliasStride"`
+	Degree      int     `json:"degree"`
+	Width       int     `json:"width"`
+	Scatter     bool    `json:"scatter"`
+	RandomOrder bool    `json:"randomOrder"`
+	Weight      float64 `json:"weight"`
+	WriteFrac   float64 `json:"writeFrac"`
+	RunLen      float64 `json:"runLen"`
+}
+
+// patternKinds maps schema strings to PatternKind.
+var patternKinds = map[string]PatternKind{
+	"sequential":    Sequential,
+	"strided":       Strided,
+	"pointerchase":  PointerChase,
+	"hotspot":       HotSpot,
+	"conflictalias": ConflictAlias,
+}
+
+// ParseJSON reads one profile definition. Unknown fields are errors so
+// typos in configs fail loudly.
+func ParseJSON(r io.Reader) (*Profile, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var jp jsonProfile
+	if err := dec.Decode(&jp); err != nil {
+		return nil, fmt.Errorf("workload: parsing profile JSON: %w", err)
+	}
+	p := &Profile{
+		Name:  jp.Name,
+		Suite: jp.Suite,
+		Seed:  jp.Seed,
+		Code: Code{
+			Footprint:   jp.Code.Footprint,
+			Segments:    jp.Code.Segments,
+			SegLen:      jp.Code.SegLen,
+			HotFrac:     jp.Code.HotFrac,
+			HotSegs:     jp.Code.HotSegs,
+			BodyLines:   jp.Code.BodyLines,
+			FallThrough: jp.Code.FallThrough,
+		},
+		Mix:     Mix{Mem: jp.Mix.Mem, FP: jp.Mix.FP},
+		DepDist: jp.DepDist,
+		FPLat:   jp.FPLat,
+	}
+	if p.Suite == "" {
+		p.Suite = "CINT2K"
+	}
+	if p.DepDist == 0 {
+		p.DepDist = 4
+	}
+	if p.FPLat == 0 {
+		p.FPLat = 4
+	}
+	cursor := DataBase
+	for i, jr := range jp.Regions {
+		kind, ok := patternKinds[jr.Kind]
+		if !ok {
+			return nil, fmt.Errorf("workload: region %d: unknown kind %q", i, jr.Kind)
+		}
+		reg := Region{
+			Kind: kind, Base: addr.Addr(jr.Base),
+			Size: jr.Size, Stride: jr.Stride, Hot: jr.Hot,
+			AliasStride: jr.AliasStride, Degree: jr.Degree, Width: jr.Width,
+			Scatter: jr.Scatter, RandomOrder: jr.RandomOrder,
+			Weight: jr.Weight, WriteFrac: jr.WriteFrac, RunLen: jr.RunLen,
+		}
+		if reg.Base == 0 {
+			reg.Base = cursor
+		}
+		span := reg.Size
+		if reg.Kind == ConflictAlias {
+			span = reg.AliasStride * max(reg.Degree, 1)
+			if reg.Scatter {
+				span = reg.AliasStride * 256
+			}
+		}
+		if reg.Kind == HotSpot {
+			span = reg.Hot * hotGrain
+		}
+		const align = 64 * 1024
+		cursor += addr.Addr((span + align) / align * align)
+		p.Regions = append(p.Regions, reg)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

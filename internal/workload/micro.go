@@ -1,0 +1,69 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Micro-benchmarks: minimal single-pattern profiles for studying one
+// cache behaviour in isolation (the SPEC2K surrogates mix several). They
+// are what you reach for when characterizing a new cache design:
+//
+//	stream     pure sequential sweep, 4 MB          (capacity misses)
+//	chase      pointer chase, 1 MB                  (latency-bound misses)
+//	hot        256 hot lines                        (pure hits)
+//	thrash4    4 blocks aliasing in one set group   (conflicts, ≤4-way fixes)
+//	thrash16   16 blocks aliasing                   (conflicts, needs 16 ways)
+//	stencil    strided 5-point-style sweep          (mixed spatial reuse)
+//	pow2walk   power-of-two strided conflicts       (PD-hostile low tag bits)
+//
+// All run with a tiny instruction footprint so the data cache dominates.
+var microNames = []string{
+	"stream", "chase", "hot", "thrash4", "thrash16", "stencil", "pow2walk",
+}
+
+// Micro returns the named micro-benchmark profile.
+func Micro(name string) (*Profile, error) {
+	b := newBuilder("micro-"+name, "CINT2K", 0xA1C0+hashName(name))
+	tinyCode(b, 8).mix(0.5, 0)
+	switch name {
+	case "stream":
+		b.seq(1, 4096*kB, 0.25)
+	case "chase":
+		b.chase(1, 1024*kB)
+		b.dep(2)
+	case "hot":
+		b.hot(1, 256, 0.3)
+	case "thrash4":
+		// 48 kB stride: consecutive tags differ by 3 at 16 kB, so the
+		// PD separates all four blocks deterministically.
+		b.aliasStride(1, 4, 2, 48*kB, 0.2)
+	case "thrash16":
+		b.aliasStride(1, 16, 2, 48*kB, 0.2)
+	case "stencil":
+		b.strided(1, 1024*kB, 4128, 0.3)
+	case "pow2walk":
+		b.aliasStride(1, 4, 2, 256*kB, 0.2)
+	default:
+		names := append([]string(nil), microNames...)
+		sort.Strings(names)
+		return nil, fmt.Errorf("workload: unknown micro-benchmark %q (have %v)", name, names)
+	}
+	return b.build(), nil
+}
+
+// Micros returns all micro-benchmark names in their canonical order.
+func Micros() []string {
+	out := make([]string, len(microNames))
+	copy(out, microNames)
+	return out
+}
+
+// hashName gives each micro a distinct, stable seed.
+func hashName(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h & 0xFFFF
+}

@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"testing"
+
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/trace"
+)
+
+func microMissRate(t testing.TB, name string, c cache.Cache) float64 {
+	t.Helper()
+	p, err := Micro(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300000; i++ {
+		r, _ := g.Next()
+		if r.Kind.IsMem() {
+			c.Access(r.Mem, r.Kind == trace.Store)
+		}
+	}
+	return c.Stats().MissRate()
+}
+
+func TestMicrosBuild(t *testing.T) {
+	for _, name := range Micros() {
+		p, err := Micro(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := Micro("nosuch"); err == nil {
+		t.Fatal("unknown micro accepted")
+	}
+}
+
+func TestMicroCharacters(t *testing.T) {
+	dm := func() cache.Cache {
+		c, err := cache.NewDirectMapped(16*1024, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	w8 := func() cache.Cache {
+		c, err := cache.NewSetAssoc(16*1024, 32, 8, cache.LRU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	bc := func(mf int) cache.Cache {
+		c, err := core.New(core.Config{SizeBytes: 16 * 1024, LineBytes: 32, MF: mf, BAS: 8, Policy: cache.LRU})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	// hot: essentially no misses anywhere.
+	if mr := microMissRate(t, "hot", dm()); mr > 0.01 {
+		t.Errorf("hot on DM: miss rate %.3f, want ≈0", mr)
+	}
+	// stream: high and associativity-insensitive.
+	sDM := microMissRate(t, "stream", dm())
+	s8 := microMissRate(t, "stream", w8())
+	if sDM < 0.15 || s8 < sDM*0.9 {
+		t.Errorf("stream: DM %.3f, 8way %.3f — should be high and insensitive", sDM, s8)
+	}
+	// thrash4: DM thrashes, 8-way and the B-Cache fix it.
+	t4DM := microMissRate(t, "thrash4", dm())
+	t4BC := microMissRate(t, "thrash4", bc(8))
+	if t4DM < 0.3 {
+		t.Errorf("thrash4 on DM: miss rate %.3f, want thrashing", t4DM)
+	}
+	if t4BC > t4DM/3 {
+		t.Errorf("thrash4: B-Cache %.3f vs DM %.3f — should collapse", t4BC, t4DM)
+	}
+	// thrash16: exceeds the B-Cache's 8 clusters; only partially fixed.
+	t16BC := microMissRate(t, "thrash16", bc(8))
+	if t16BC < t4BC {
+		t.Errorf("thrash16 (%.3f) easier than thrash4 (%.3f) for the B-Cache?", t16BC, t4BC)
+	}
+	// pow2walk: PD-hostile at MF=8; MF=32 breaks the collision
+	// (256 kB stride = 16 cache sizes → tag diffs multiples of 16).
+	pw8 := microMissRate(t, "pow2walk", bc(8))
+	pw32 := microMissRate(t, "pow2walk", bc(32))
+	if pw32 >= pw8 {
+		t.Errorf("pow2walk: MF=32 (%.3f) not better than MF=8 (%.3f)", pw32, pw8)
+	}
+}

@@ -1,0 +1,218 @@
+// Package workload synthesizes the reference streams that substitute for
+// the paper's SPEC CPU2000 runs.
+//
+// The paper (§4.2) executes all 26 SPEC2K benchmarks on SimpleScalar
+// (Alpha binaries, 2 B instructions fast-forward, 500 M measured). Those
+// binaries and reference inputs are not available here, so each benchmark
+// is replaced by a deterministic generator whose instruction and data
+// streams are calibrated to the qualitative behaviour the paper reports
+// per benchmark: instruction footprint (which decides whether the I-cache
+// miss rate is above the 0.01 % reporting threshold), data working-set
+// size, conflict-aliasing degree and stride, streaming vs. pointer-chase
+// vs. hot-set reuse, and instruction-level parallelism. See DESIGN.md §5
+// for the calibration targets and spec2k.go for the 26 profiles.
+package workload
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+)
+
+// PatternKind selects a data-region reference pattern.
+type PatternKind int
+
+// Data access patterns.
+const (
+	// Sequential walks the region line by line and wraps: pure streaming
+	// (art/swim/lucas-like). Misses are capacity misses spread uniformly
+	// over the sets; extra associativity barely helps.
+	Sequential PatternKind = iota
+
+	// Strided walks with a fixed byte stride, wrapping at the region end
+	// (array-of-structs column walks, FP stencils).
+	Strided
+
+	// PointerChase follows a fixed pseudo-random permutation of the
+	// region's lines (mcf-like). Uniform, association-insensitive misses.
+	PointerChase
+
+	// HotSpot draws from a small set of hot lines with a skewed
+	// distribution: the high-hit-rate component every program has.
+	HotSpot
+
+	// ConflictAlias cycles through Degree blocks spaced AliasStride bytes
+	// apart starting at Base, touching a few consecutive lines each
+	// visit. When AliasStride is a multiple of the cache size the blocks
+	// collide in the same sets: the conflict-miss generator that
+	// associativity (and the B-Cache) resolves.
+	ConflictAlias
+)
+
+func (k PatternKind) String() string {
+	switch k {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case PointerChase:
+		return "pointerchase"
+	case HotSpot:
+		return "hotspot"
+	case ConflictAlias:
+		return "conflictalias"
+	default:
+		return fmt.Sprintf("pattern(%d)", int(k))
+	}
+}
+
+// Region describes one data structure the synthetic program references.
+type Region struct {
+	Kind PatternKind
+	Base addr.Addr // starting byte address
+	Size int       // bytes (span of the structure)
+
+	// Stride is the byte step for Strided.
+	Stride int
+	// Hot is the number of hot lines for HotSpot.
+	Hot int
+	// AliasStride and Degree configure ConflictAlias: Degree blocks at
+	// AliasStride spacing. Width is the number of consecutive lines
+	// touched per visit (default 1).
+	AliasStride int
+	Degree      int
+	Width       int
+	// Scatter places the Degree blocks at pseudo-random multiples of
+	// AliasStride instead of consecutive ones, so block tags are
+	// uncorrelated (the common case in real programs). Leave false to
+	// model pathological power-of-two strides whose low tag bits
+	// coincide — the access pattern that defeats the B-Cache's
+	// programmable decoder at small MF (paper Figure 3, wupwise).
+	Scatter bool
+	// RandomOrder visits blocks in random order instead of cyclically.
+	// Cyclic visits are the LRU worst case (zero hits when Degree exceeds
+	// the ways); random order degrades gracefully.
+	RandomOrder bool
+
+	// Weight is the relative probability of selecting this region.
+	Weight float64
+	// WriteFrac is the fraction of accesses that are stores.
+	WriteFrac float64
+	// RunLen is the mean number of consecutive references made to this
+	// region once selected (temporal clustering). Default 4.
+	RunLen float64
+}
+
+// Code describes the instruction-fetch behaviour of the synthetic
+// program: a set of basic-block segments laid out over a code footprint.
+// The PC walks sequentially inside a segment and branches between
+// segments; a hot subset of segments receives most control transfers.
+type Code struct {
+	Footprint int     // bytes of static code (placement span of the segments)
+	Segments  int     // number of function-like segments scattered over the footprint
+	SegLen    float64 // mean dynamic basic-block length in instructions
+	HotFrac   float64 // probability a branch targets the hot subset
+	HotSegs   int     // size of the hot subset
+	// BodyLines is each segment's body size in cache lines; branches
+	// enter a segment at a random line within the body, so the live
+	// instruction working set is roughly Segments × BodyLines lines.
+	// Zero means 1.
+	BodyLines int
+	// FallThrough is the probability that a basic-block end continues
+	// sequentially (fall-through or short forward branch) instead of
+	// transferring to another segment. Real integer code falls through
+	// well over half the time; this keeps fetch spatial locality high
+	// without changing the branch frequency.
+	FallThrough float64
+}
+
+// Mix gives the dynamic instruction mix. Branches are implied by the
+// code structure (one per basic block, i.e. a fraction of 1/Code.SegLen);
+// loads vs. stores are decided by the selected data region's WriteFrac.
+type Mix struct {
+	// Mem is the fraction of instructions that access the data cache.
+	Mem float64
+	// FP is the fraction of non-memory, non-branch instructions that are
+	// floating-point operations.
+	FP float64
+}
+
+// Profile is one synthetic benchmark.
+type Profile struct {
+	Name string
+	// Suite is "CINT2K" or "CFP2K" (the grouping Figure 4 reports).
+	Suite string
+	Seed  uint64
+
+	Code    Code
+	Mix     Mix
+	Regions []Region
+
+	// DepDist is the mean distance (in instructions) between a value's
+	// producer and consumer; small values serialize the pipeline, large
+	// values expose ILP to the 16-entry window.
+	DepDist float64
+
+	// FPLat is the latency of FP operations (cycles).
+	FPLat uint8
+}
+
+// Validate checks profile consistency before generation.
+func (p *Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: profile without name")
+	}
+	if p.Suite != "CINT2K" && p.Suite != "CFP2K" {
+		return fmt.Errorf("workload %s: bad suite %q", p.Name, p.Suite)
+	}
+	if p.Code.Footprint <= 0 || p.Code.Segments <= 0 || p.Code.SegLen < 1 {
+		return fmt.Errorf("workload %s: bad code %+v", p.Name, p.Code)
+	}
+	if p.Code.HotSegs > p.Code.Segments {
+		return fmt.Errorf("workload %s: hot segments %d > segments %d", p.Name, p.Code.HotSegs, p.Code.Segments)
+	}
+	if p.Code.FallThrough < 0 || p.Code.FallThrough > 1 {
+		return fmt.Errorf("workload %s: fall-through %g out of [0,1]", p.Name, p.Code.FallThrough)
+	}
+	m := p.Mix
+	if m.Mem < 0 || m.Mem > 1 || m.FP < 0 || m.FP > 1 {
+		return fmt.Errorf("workload %s: bad mix %+v", p.Name, m)
+	}
+	if len(p.Regions) == 0 {
+		return fmt.Errorf("workload %s: no data regions", p.Name)
+	}
+	var wsum float64
+	for i, r := range p.Regions {
+		if r.Weight <= 0 {
+			return fmt.Errorf("workload %s: region %d non-positive weight", p.Name, i)
+		}
+		wsum += r.Weight
+		switch r.Kind {
+		case Sequential, PointerChase:
+			if r.Size <= 0 {
+				return fmt.Errorf("workload %s: region %d needs Size", p.Name, i)
+			}
+		case Strided:
+			if r.Size <= 0 || r.Stride <= 0 {
+				return fmt.Errorf("workload %s: region %d needs Size and Stride", p.Name, i)
+			}
+		case HotSpot:
+			if r.Hot <= 0 {
+				return fmt.Errorf("workload %s: region %d needs Hot", p.Name, i)
+			}
+		case ConflictAlias:
+			if r.AliasStride <= 0 || r.Degree <= 1 {
+				return fmt.Errorf("workload %s: region %d needs AliasStride and Degree>1", p.Name, i)
+			}
+		default:
+			return fmt.Errorf("workload %s: region %d unknown kind %d", p.Name, i, int(r.Kind))
+		}
+	}
+	if wsum <= 0 {
+		return fmt.Errorf("workload %s: zero total region weight", p.Name)
+	}
+	if p.DepDist < 1 {
+		return fmt.Errorf("workload %s: DepDist %g < 1", p.Name, p.DepDist)
+	}
+	return nil
+}

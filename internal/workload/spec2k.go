@@ -1,0 +1,438 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"bcache/internal/addr"
+)
+
+// The 26 SPEC CPU2000 benchmark surrogates. Each profile is calibrated to
+// the qualitative behaviour the paper reports for that benchmark (see
+// DESIGN.md §5):
+//
+//   - Benchmarks whose instruction cache misses are below the paper's
+//     0.01 % reporting threshold get code footprints that fit a 16 kB
+//     I-cache; the 15 reported ones get 24–96 kB footprints with a hot
+//     segment subset that conflicts in a direct-mapped cache.
+//   - Streaming/huge-working-set benchmarks (art, lucas, swim, mcf) miss
+//     uniformly across sets, so associativity — and the B-Cache — barely
+//     help (paper Table 7: "no frequent miss sets").
+//   - Conflict-bound benchmarks carry ConflictAlias regions: equake has
+//     the largest recoverable conflict share; crafty and fma3d need
+//     8 ways (degree ~10); perlbmk keeps gaining to 32 ways (degree 20).
+//   - wupwise's conflicts sit at a 512 kB power-of-two stride whose tags
+//     agree in their low bits, defeating the programmable decoder until
+//     MF ≥ 64 (paper Figure 3) and small enough (8 lines) for a
+//     16-entry victim buffer to absorb. galgel, facerec and sixtrack get
+//     milder variants (128–256 kB strides).
+//
+// Scatter conflict regions place blocks at 16 kB multiples (so tags take
+// both parities at the 16 kB baseline); fixed-stride regions use 128 kB+
+// power-of-two strides. Both alias at the 8 and 16 kB sizes of Figure 12
+// and at least partially at 32 kB.
+
+const kB = 1024
+
+// builder accumulates a Profile with a bump allocator for region bases.
+type builder struct {
+	p      Profile
+	cursor addr.Addr
+}
+
+func newBuilder(name, suite string, seed uint64) *builder {
+	return &builder{
+		p: Profile{
+			Name:    name,
+			Suite:   suite,
+			Seed:    seed,
+			DepDist: 4,
+			FPLat:   4,
+		},
+		cursor: DataBase,
+	}
+}
+
+// alloc reserves span bytes (rounded up to 64 kB) and returns the base.
+func (b *builder) alloc(span int) addr.Addr {
+	base := b.cursor
+	const align = 64 * kB
+	b.cursor += addr.Addr((span + align - 1) / align * align)
+	return base
+}
+
+func (b *builder) code(footprint, segments int, segLen float64, hotFrac float64, hotSegs, bodyLines int) *builder {
+	b.p.Code = Code{Footprint: footprint, Segments: segments, SegLen: segLen,
+		HotFrac: hotFrac, HotSegs: hotSegs, BodyLines: bodyLines,
+		FallThrough: 0.65}
+	return b
+}
+
+func (b *builder) mix(mem, fp float64) *builder {
+	b.p.Mix = Mix{Mem: mem, FP: fp}
+	return b
+}
+
+func (b *builder) dep(d float64) *builder {
+	b.p.DepDist = d
+	return b
+}
+
+func (b *builder) hot(weight float64, lines int, writeFrac float64) *builder {
+	b.p.Regions = append(b.p.Regions, Region{
+		Kind: HotSpot, Base: b.alloc(lines * hotGrain), Hot: lines,
+		Weight: weight, WriteFrac: writeFrac, RunLen: 8,
+	})
+	return b
+}
+
+func (b *builder) seq(weight float64, size int, writeFrac float64) *builder {
+	b.p.Regions = append(b.p.Regions, Region{
+		Kind: Sequential, Base: b.alloc(size), Size: size,
+		Weight: weight, WriteFrac: writeFrac, RunLen: 16,
+	})
+	return b
+}
+
+func (b *builder) strided(weight float64, size, stride int, writeFrac float64) *builder {
+	b.p.Regions = append(b.p.Regions, Region{
+		Kind: Strided, Base: b.alloc(size), Size: size, Stride: stride,
+		Weight: weight, WriteFrac: writeFrac, RunLen: 16,
+	})
+	return b
+}
+
+func (b *builder) chase(weight float64, size int) *builder {
+	b.p.Regions = append(b.p.Regions, Region{
+		Kind: PointerChase, Base: b.alloc(size), Size: size,
+		Weight: weight, WriteFrac: 0.05, RunLen: 4,
+	})
+	return b
+}
+
+// aliasScatter adds a conflict region with uncorrelated block tags
+// (random-order visits): the common shape of real conflict misses.
+// The 16 kB placement unit makes block tags take both odd and even
+// values at the 16 kB baseline (so every MF level can separate some of
+// them); at 32 kB half the blocks move to a second set, thinning — but
+// not removing — the conflict, which is how real conflicts respond to a
+// larger cache.
+func (b *builder) aliasScatter(weight float64, degree, width int, writeFrac float64) *builder {
+	const stride = 16 * kB
+	b.p.Regions = append(b.p.Regions, Region{
+		Kind: ConflictAlias, Base: b.alloc(256 * stride), AliasStride: stride,
+		Degree: degree, Width: width, Scatter: true, RandomOrder: true,
+		Weight: weight, WriteFrac: writeFrac, RunLen: float64(width) * 2,
+	})
+	return b
+}
+
+// aliasStride adds a conflict region at a fixed power-of-two stride:
+// block tags differ by stride/cacheSize, so their low tag bits — the bits
+// the programmable decoder borrows — may coincide.
+func (b *builder) aliasStride(weight float64, degree, width, stride int, writeFrac float64) *builder {
+	b.p.Regions = append(b.p.Regions, Region{
+		Kind: ConflictAlias, Base: b.alloc(degree * stride), AliasStride: stride,
+		Degree: degree, Width: width, RandomOrder: true,
+		Weight: weight, WriteFrac: writeFrac, RunLen: float64(width) * 2,
+	})
+	return b
+}
+
+func (b *builder) build() *Profile {
+	p := b.p
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("workload: bad built-in profile: %v", err)) // bug in this file
+	}
+	return &p
+}
+
+// Code-footprint presets: "tiny" keeps I$ misses below the paper's
+// 0.01 % threshold; the others create the conflict pressure Figure 5
+// reports. A 16 kB I-cache holds the tiny footprints entirely.
+func tinyCode(b *builder, segLen float64) *builder {
+	return b.code(6*kB, 16, segLen, 0.9, 6, 6)
+}
+
+// profiles is built once at init; access through All / ByName.
+var profiles []*Profile
+
+// seedBase spreads profile seeds; experiments may add run-level offsets.
+const seedBase = 0x5EC2_0000
+
+func init() {
+	mk := func(i int) func(name, suite string) *builder {
+		return func(name, suite string) *builder {
+			return newBuilder(name, suite, seedBase+uint64(i)*7919)
+		}
+	}
+	i := 0
+	add := func(f func(func(string, string) *builder) *Profile) {
+		profiles = append(profiles, f(mk(i)))
+		i++
+	}
+
+	// ---- CINT2K ----
+
+	// bzip2: tiny code; compression window streaming plus block-sort
+	// hot working set. Modest conflict share.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("bzip2", "CINT2K")
+		tinyCode(b, 6).mix(0.38, 0.01).dep(4)
+		return b.hot(5, 280, 0.35).seq(0.9, 1024*kB, 0.25).aliasScatter(0.35, 4, 2, 0.2).build()
+	})
+
+	// crafty: big conflict-prone code; data conflicts need 8 ways
+	// (degree 10) — the paper singles crafty out for 8-way >> 4-way and
+	// the largest energy gain.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("crafty", "CINT2K")
+		b.code(48*kB, 48, 5.5, 0.88, 18, 12).mix(0.33, 0.02).dep(4.5)
+		return b.hot(5, 320, 0.3).aliasScatter(0.8, 10, 4, 0.15).chase(0.25, 96*kB).build()
+	})
+
+	// eon: C++ renderer — large-ish code, data almost entirely resident.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("eon", "CINT2K")
+		b.code(40*kB, 40, 5, 0.89, 16, 12).mix(0.35, 0.08).dep(5)
+		return b.hot(8, 300, 0.35).aliasScatter(0.22, 3, 2, 0.2).seq(0.12, 128*kB, 0.2).build()
+	})
+
+	// gap: group theory interpreter; workspace streaming + moderate
+	// conflicts, conflict-prone code.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("gap", "CINT2K")
+		b.code(36*kB, 36, 5.5, 0.9, 14, 12).mix(0.36, 0.02).dep(4)
+		return b.hot(5, 300, 0.3).seq(0.5, 512*kB, 0.25).aliasScatter(0.5, 5, 4, 0.2).build()
+	})
+
+	// gcc: the largest code footprint; many moderately hot segments and
+	// mixed pointer-heavy data.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("gcc", "CINT2K")
+		b.code(96*kB, 96, 5, 0.86, 24, 12).mix(0.34, 0.01).dep(4)
+		return b.hot(4.5, 300, 0.3).chase(0.5, 256*kB).aliasScatter(0.55, 6, 3, 0.25).build()
+	})
+
+	// gzip: tiny code; window streaming, few conflicts.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("gzip", "CINT2K")
+		tinyCode(b, 6).mix(0.36, 0.0).dep(4.5)
+		return b.hot(5.5, 256, 0.35).seq(1.0, 256*kB, 0.3).aliasScatter(0.2, 3, 2, 0.2).build()
+	})
+
+	// mcf: tiny code; pointer chase over a network far larger than any
+	// L1 — uniform misses, associativity nearly useless (paper Table 7:
+	// no frequent-miss sets).
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("mcf", "CINT2K")
+		tinyCode(b, 7).mix(0.40, 0.0).dep(2.6)
+		return b.hot(2.2, 128, 0.3).chase(1.45, 4096*kB).build()
+	})
+
+	// parser: dictionary pointer chasing with moderate conflicts.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("parser", "CINT2K")
+		b.code(32*kB, 32, 5.5, 0.9, 13, 12).mix(0.37, 0.0).dep(3.6)
+		return b.hot(5, 300, 0.3).chase(0.5, 128*kB).aliasScatter(0.45, 4, 5, 0.2).build()
+	})
+
+	// perlbmk: hash-table conflicts of high degree — the benchmark where
+	// even 32 ways keep helping (paper §4.3.1).
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("perlbmk", "CINT2K")
+		b.code(80*kB, 80, 5, 0.87, 22, 12).mix(0.35, 0.01).dep(4.2)
+		return b.hot(5.5, 320, 0.3).aliasScatter(0.75, 20, 3, 0.25).chase(0.2, 64*kB).build()
+	})
+
+	// twolf: placement/routing — pointer chase plus conflicts.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("twolf", "CINT2K")
+		b.code(28*kB, 28, 5.5, 0.9, 12, 12).mix(0.36, 0.02).dep(3.6)
+		return b.hot(4.5, 280, 0.3).chase(0.7, 96*kB).aliasScatter(0.5, 6, 3, 0.2).build()
+	})
+
+	// vortex: OO database, big code, store-heavy object updates.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("vortex", "CINT2K")
+		b.code(64*kB, 64, 5, 0.88, 18, 12).mix(0.36, 0.0).dep(4.2)
+		return b.hot(5, 300, 0.4).aliasScatter(0.5, 5, 4, 0.35).seq(0.25, 512*kB, 0.3).build()
+	})
+
+	// vpr: tiny code; chases a netlist that mostly fits; mild conflicts.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("vpr", "CINT2K")
+		tinyCode(b, 6).mix(0.37, 0.03).dep(3.8)
+		return b.hot(5, 280, 0.3).chase(0.55, 48*kB).aliasScatter(0.3, 3, 2, 0.2).build()
+	})
+
+	// ---- CFP2K ----
+
+	// ammp: molecular dynamics — neighbour-list pointer chase over a
+	// large structure set plus FP hot loops.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("ammp", "CFP2K")
+		b.code(24*kB, 24, 11, 0.92, 10, 12).mix(0.34, 0.45).dep(3.2)
+		return b.hot(4, 300, 0.3).chase(0.85, 1024*kB).aliasScatter(0.7, 5, 4, 0.15).build()
+	})
+
+	// applu: tiny code; dense solver streaming.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("applu", "CFP2K")
+		tinyCode(b, 13).mix(0.36, 0.5).dep(7)
+		return b.hot(2.6, 128, 0.25).seq(1.2, 2048*kB, 0.3).strided(0.3, 512*kB, 1056, 0.2).build()
+	})
+
+	// apsi: meteorology — strided grid sweeps with conflicts.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("apsi", "CFP2K")
+		b.code(32*kB, 32, 11, 0.9, 13, 12).mix(0.35, 0.48).dep(6)
+		return b.hot(4, 280, 0.25).strided(0.45, 768*kB, 2080, 0.25).aliasScatter(0.7, 6, 4, 0.2).build()
+	})
+
+	// art: tiny code; neural-net weight streaming dominates — the
+	// highest, most associativity-insensitive miss rate in the suite.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("art", "CFP2K")
+		tinyCode(b, 12).mix(0.42, 0.5).dep(6.5)
+		return b.hot(1.1, 96, 0.2).seq(1.7, 2048*kB, 0.15).build()
+	})
+
+	// equake: sparse-matrix rows at power-of-two spacing collide
+	// heavily; nearly all misses are recoverable conflicts (paper: >80 %
+	// reduction, +27.1 % IPC — the headline benchmark). Low ILP makes
+	// the misses hurt.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("equake", "CFP2K")
+		b.code(28*kB, 28, 10, 0.94, 9, 12).mix(0.44, 0.4).dep(2.2)
+		return b.hot(3.9, 280, 0.25).aliasScatter(1.55, 6, 4, 0.2).seq(0.12, 256*kB, 0.2).build()
+	})
+
+	// facerec: tiny code; image sweeps plus a 256 kB-stride conflict
+	// pair whose tags collide in their low bits at small MF.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("facerec", "CFP2K")
+		tinyCode(b, 12).mix(0.36, 0.5).dep(6.5)
+		return b.hot(4.5, 280, 0.25).seq(0.55, 1024*kB, 0.2).aliasStride(0.45, 4, 2, 256*kB, 0.2).build()
+	})
+
+	// fma3d: crash simulation — element data conflicts needing 8 ways,
+	// like crafty but FP (paper pairs them).
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("fma3d", "CFP2K")
+		b.code(48*kB, 48, 10, 0.9, 15, 12).mix(0.36, 0.45).dep(4.5)
+		return b.hot(4.4, 300, 0.3).aliasScatter(0.85, 10, 4, 0.25).seq(0.3, 768*kB, 0.25).build()
+	})
+
+	// galgel: tiny code; Galerkin FEM — 128 kB-stride column conflicts
+	// (low-tag-bit collisions at MF ≤ 8).
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("galgel", "CFP2K")
+		tinyCode(b, 13).mix(0.35, 0.55).dep(6)
+		return b.hot(4.5, 280, 0.25).aliasStride(0.65, 6, 2, 128*kB, 0.2).seq(0.3, 512*kB, 0.2).build()
+	})
+
+	// lucas: tiny code; FFT-style long strides over a huge array —
+	// uniform misses.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("lucas", "CFP2K")
+		tinyCode(b, 13).mix(0.37, 0.55).dep(7)
+		return b.hot(1.6, 96, 0.2).seq(1.0, 2048*kB, 0.35).strided(0.35, 1024*kB, 8224, 0.2).build()
+	})
+
+	// mesa: software rendering — hot rasterizer state, mild conflicts.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("mesa", "CFP2K")
+		b.code(40*kB, 40, 9, 0.89, 15, 12).mix(0.36, 0.3).dep(4.5)
+		return b.hot(6, 320, 0.35).aliasScatter(0.45, 5, 4, 0.25).seq(0.3, 512*kB, 0.3).build()
+	})
+
+	// mgrid: tiny code; multigrid stencil sweeps.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("mgrid", "CFP2K")
+		tinyCode(b, 14).mix(0.38, 0.55).dep(7.5)
+		return b.hot(2.4, 128, 0.2).seq(1.05, 1536*kB, 0.25).strided(0.3, 768*kB, 4128, 0.2).build()
+	})
+
+	// sixtrack: accelerator tracking — hot loops with a mild 128 kB
+	// stride conflict component.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("sixtrack", "CFP2K")
+		b.code(56*kB, 56, 10, 0.9, 16, 12).mix(0.33, 0.5).dep(5.5)
+		return b.hot(6, 320, 0.25).aliasStride(0.4, 5, 2, 128*kB, 0.2).seq(0.2, 256*kB, 0.2).build()
+	})
+
+	// swim: tiny code; three big grid sweeps — uniform capacity misses.
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("swim", "CFP2K")
+		tinyCode(b, 14).mix(0.40, 0.55).dep(8)
+		return b.hot(1.5, 96, 0.2).seq(0.7, 1024*kB, 0.35).seq(0.7, 1024*kB, 0.2).seq(0.5, 1024*kB, 0.2).build()
+	})
+
+	// wupwise: lattice QCD at 512 kB power-of-two strides: tags agree in
+	// their low five bits, so the PD keeps hitting during misses until
+	// MF ≥ 64 (Figure 3); only 8 thrashing lines, so a 16-entry victim
+	// buffer absorbs them (the one benchmark where the buffer wins).
+	add(func(nb func(string, string) *builder) *Profile {
+		b := nb("wupwise", "CFP2K")
+		b.code(32*kB, 32, 10, 0.93, 10, 12).mix(0.36, 0.5).dep(5)
+		return b.hot(4.2, 300, 0.25).aliasStride(0.75, 2, 4, 512*kB, 0.2).seq(0.35, 512*kB, 0.2).build()
+	})
+}
+
+// All returns the 26 profiles in a stable order (CINT2K then CFP2K,
+// alphabetical within each suite, matching the paper's figures).
+func All() []*Profile {
+	out := make([]*Profile, len(profiles))
+	copy(out, profiles)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Suite != out[j].Suite {
+			return out[i].Suite == "CINT2K"
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// ByName returns the named profile, or an error listing valid names.
+func ByName(name string) (*Profile, error) {
+	for _, p := range profiles {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	names := make([]string, len(profiles))
+	for i, p := range profiles {
+		names[i] = p.Name
+	}
+	sort.Strings(names)
+	return nil, fmt.Errorf("workload: unknown benchmark %q (have %v)", name, names)
+}
+
+// Suite returns the profiles of one suite ("CINT2K" or "CFP2K").
+func Suite(suite string) []*Profile {
+	var out []*Profile
+	for _, p := range All() {
+		if p.Suite == suite {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ReportedICache lists the benchmarks whose instruction-cache miss rates
+// the paper reports in Figure 5 (the rest are below 0.01 %).
+var ReportedICache = []string{
+	"ammp", "apsi", "crafty", "eon", "equake", "fma3d", "gap", "gcc",
+	"mesa", "parser", "perlbmk", "sixtrack", "twolf", "vortex", "wupwise",
+}
+
+// IsReportedICache reports whether name is in ReportedICache.
+func IsReportedICache(name string) bool {
+	for _, n := range ReportedICache {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
