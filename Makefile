@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci bench bench-obs clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# ci is the full local gate: formatting, vet, build, and the race-enabled
+# test suite (probes attached under -race is an explicit acceptance
+# criterion of the observability layer).
+ci: fmt-check vet build race
+
+# bench runs the probe-overhead benchmarks (see internal/obs/alloc_test.go
+# for how to read the two levels).
+bench:
+	$(GO) test -bench 'Overhead' -benchmem -run '^$$' ./internal/obs
+
+# bench-obs regenerates the BENCH_obs.json observability baseline
+# (equake/gcc/mcf x dm/8way/bcache).
+bench-obs:
+	$(GO) run ./cmd/obsbench -o BENCH_obs.json
+
+clean:
+	$(GO) clean ./...

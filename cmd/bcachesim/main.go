@@ -8,20 +8,33 @@
 //	bcachesim -bench gcc -cache 4way -side i
 //	bcachesim -bench mcf -cache victim -entries 16 -ipc
 //	bcachesim -trace run.bct -cache bcache
+//	bcachesim -bench equake -cache bcache -report run.json
+//	bcachesim -bench gcc -cache bcache -cpuprofile cpu.pprof
+//
+// With -report the run also emits a schema-versioned JSON document
+// (internal/obs.Report) holding totals, the set-balance classification,
+// simulator throughput, and interval time-series (miss rate, PD miss
+// rate, reprograms per kilo-access, per-set occupancy heat) sampled
+// every -interval accesses. -cpuprofile/-memprofile write pprof data for
+// the simulator's own hot loop.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"bcache/internal/altcache"
 	"bcache/internal/cache"
 	"bcache/internal/core"
 	"bcache/internal/cpu"
 	"bcache/internal/hier"
+	"bcache/internal/obs"
 	"bcache/internal/rng"
 	"bcache/internal/trace"
 	"bcache/internal/victim"
@@ -30,20 +43,24 @@ import (
 
 func main() {
 	var (
-		benchName = flag.String("bench", "equake", "benchmark profile name (see -list)")
-		tracePath = flag.String("trace", "", "replay a trace file (.bct v1/v2 or Dinero .din) instead of a benchmark")
-		profile   = flag.String("profile", "", "load a custom workload profile from a JSON file")
-		list      = flag.Bool("list", false, "list benchmark names and exit")
-		kind      = flag.String("cache", "bcache", "cache type: dm | Nway | bcache | victim | column | skewed | hac | agac | psa | pam | wayhalt")
-		size      = flag.Int("size", 16*1024, "L1 cache size in bytes")
-		line      = flag.Int("line", 32, "line size in bytes")
-		mf        = flag.Int("mf", 8, "B-Cache mapping factor")
-		bas       = flag.Int("bas", 8, "B-Cache associativity")
-		policy    = flag.String("policy", "lru", "B-Cache replacement policy: lru | random")
-		entries   = flag.Int("entries", 16, "victim buffer entries")
-		n         = flag.Uint64("n", 2_000_000, "instructions to simulate")
-		side      = flag.String("side", "d", "cache side for miss-rate mode: d | i")
-		ipc       = flag.Bool("ipc", false, "run the full CPU model (both L1s of the chosen type)")
+		benchName  = flag.String("bench", "equake", "benchmark profile name (see -list)")
+		tracePath  = flag.String("trace", "", "replay a trace file (.bct v1/v2 or Dinero .din) instead of a benchmark")
+		profile    = flag.String("profile", "", "load a custom workload profile from a JSON file")
+		list       = flag.Bool("list", false, "list benchmark names and exit")
+		kind       = flag.String("cache", "bcache", "cache type: dm | Nway | bcache | victim | column | skewed | hac | agac | psa | pam | wayhalt")
+		size       = flag.Int("size", 16*1024, "L1 cache size in bytes")
+		line       = flag.Int("line", 32, "line size in bytes")
+		mf         = flag.Int("mf", 8, "B-Cache mapping factor")
+		bas        = flag.Int("bas", 8, "B-Cache associativity")
+		policy     = flag.String("policy", "lru", "B-Cache replacement policy: lru | random")
+		entries    = flag.Int("entries", 16, "victim buffer entries")
+		n          = flag.Uint64("n", 2_000_000, "instructions to simulate")
+		side       = flag.String("side", "d", "cache side for miss-rate mode: d | i")
+		ipc        = flag.Bool("ipc", false, "run the full CPU model (both L1s of the chosen type)")
+		reportPath = flag.String("report", "", "write a JSON run report (schema v"+strconv.Itoa(obs.SchemaVersion)+") to this file")
+		interval   = flag.Uint64("interval", 8192, "report time-series sampling interval in accesses")
+		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -57,59 +74,92 @@ func main() {
 		return
 	}
 
-	build := func() (cache.Cache, error) {
-		return buildCache(*kind, *size, *line, *mf, *bas, *policy, *entries)
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
-	stream, err := openStream(*benchName, *tracePath, *profile)
-	if err != nil {
+	if err := run(runCfg{
+		bench: *benchName, tracePath: *tracePath, profile: *profile,
+		kind: *kind, size: *size, line: *line, mf: *mf, bas: *bas,
+		policy: *policy, entries: *entries, n: *n, side: *side, ipc: *ipc,
+		reportPath: *reportPath, interval: *interval,
+	}); err != nil {
 		fail(err)
 	}
 
-	if *ipc {
-		ic, err := build()
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
 		if err != nil {
 			fail(err)
 		}
-		dc, err := build()
-		if err != nil {
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fail(err)
 		}
-		h, err := hier.New(ic, dc, hier.Defaults())
-		if err != nil {
-			fail(err)
-		}
-		res, err := cpu.Run(stream, h, cpu.Defaults(), *n)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("config      : %s (both L1s)\n", ic.Name())
-		fmt.Printf("instructions: %d\n", res.Instructions)
-		fmt.Printf("cycles      : %d\n", res.Cycles)
-		fmt.Printf("IPC         : %.4f\n", res.IPC())
-		fmt.Printf("I$          : %v\n", ic.Stats())
-		fmt.Printf("D$          : %v\n", dc.Stats())
-		fmt.Printf("L2          : %v\n", h.L2.Stats())
-		fmt.Printf("memory      : %d reads, %d writes\n", h.MemAccesses, h.MemWrites)
-		printPD(ic, "I$")
-		printPD(dc, "D$")
-		return
+	}
+}
+
+// runCfg carries the parsed flags into the testable simulation driver.
+type runCfg struct {
+	bench, tracePath, profile string
+	kind                      string
+	size, line, mf, bas       int
+	policy                    string
+	entries                   int
+	n                         uint64
+	side                      string
+	ipc                       bool
+	reportPath                string
+	interval                  uint64
+}
+
+// run executes one simulation, prints the human-readable summary, and
+// writes the JSON report if requested.
+func run(cfg runCfg) error {
+	build := func() (cache.Cache, error) {
+		return buildCache(cfg.kind, cfg.size, cfg.line, cfg.mf, cfg.bas, cfg.policy, cfg.entries)
+	}
+
+	stream, err := openStream(cfg.bench, cfg.tracePath, cfg.profile)
+	if err != nil {
+		return err
+	}
+
+	if cfg.ipc {
+		return runIPC(cfg, build, stream)
 	}
 
 	c, err := build()
 	if err != nil {
-		fail(err)
+		return err
 	}
-	lineMask := ^uint64(uint64(*line) - 1)
+	var sampler *obs.IntervalSampler
+	if cfg.reportPath != "" {
+		sampler = obs.NewIntervalSampler(cfg.interval, c.Geometry().Frames)
+		if !cache.AttachProbe(c, sampler) {
+			return fmt.Errorf("cache type %q does not support -report time-series (no probe attach point)", cfg.kind)
+		}
+	}
+
+	lineMask := ^uint64(uint64(cfg.line) - 1)
 	var curLine uint64 = ^uint64(0)
 	var count uint64
-	for count < *n {
+	start := time.Now()
+	for count < cfg.n {
 		rec, ok := stream.Next()
 		if !ok {
 			break
 		}
 		count++
-		switch *side {
+		switch cfg.side {
 		case "d":
 			if rec.Kind.IsMem() {
 				c.Access(rec.Mem, rec.Kind == trace.Store)
@@ -120,13 +170,110 @@ func main() {
 				c.Access(rec.PC, false)
 			}
 		default:
-			fail(fmt.Errorf("bad -side %q (want d or i)", *side))
+			return fmt.Errorf("bad -side %q (want d or i)", cfg.side)
 		}
 	}
-	fmt.Printf("config      : %s (%s-side)\n", c.Name(), *side)
+	wall := time.Since(start)
+
+	fmt.Printf("config      : %s (%s-side)\n", c.Name(), cfg.side)
 	fmt.Printf("instructions: %d\n", count)
 	fmt.Printf("stats       : %v\n", c.Stats())
 	printPD(c, "PD")
+	printThroughput(wall, c.Stats().Accesses, count)
+
+	if cfg.reportPath != "" {
+		r := obs.NewReport(c)
+		r.Config.Benchmark = benchLabel(cfg)
+		r.Config.Side = cfg.side
+		r.AttachSampler(sampler)
+		r.SetThroughput(wall, count)
+		if err := r.WriteFile(cfg.reportPath); err != nil {
+			return err
+		}
+		fmt.Printf("report      : %s (%d samples, %d series)\n",
+			cfg.reportPath, len(r.Samples), len(r.Series))
+	}
+	return nil
+}
+
+// runIPC drives the full CPU model over the two-level hierarchy.
+func runIPC(cfg runCfg, build func() (cache.Cache, error), stream trace.Stream) error {
+	ic, err := build()
+	if err != nil {
+		return err
+	}
+	dc, err := build()
+	if err != nil {
+		return err
+	}
+	h, err := hier.New(ic, dc, hier.Defaults())
+	if err != nil {
+		return err
+	}
+	var sampler *obs.IntervalSampler
+	if cfg.reportPath != "" {
+		// The report follows the data side: attach the sampler to the D$
+		// and let the hierarchy add its writeback events.
+		sampler = obs.NewIntervalSampler(cfg.interval, dc.Geometry().Frames)
+		if !cache.AttachProbe(dc, sampler) {
+			return fmt.Errorf("cache type %q does not support -report time-series (no probe attach point)", cfg.kind)
+		}
+		h.SetProbe(sampler)
+	}
+	start := time.Now()
+	res, err := cpu.Run(stream, h, cpu.Defaults(), cfg.n)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+	fmt.Printf("config      : %s (both L1s)\n", ic.Name())
+	fmt.Printf("instructions: %d\n", res.Instructions)
+	fmt.Printf("cycles      : %d\n", res.Cycles)
+	fmt.Printf("IPC         : %.4f\n", res.IPC())
+	fmt.Printf("I$          : %v\n", ic.Stats())
+	fmt.Printf("D$          : %v\n", dc.Stats())
+	fmt.Printf("L2          : %v\n", h.L2.Stats())
+	fmt.Printf("memory      : %d reads, %d writes\n", h.MemAccesses, h.MemWrites)
+	printPD(ic, "I$")
+	printPD(dc, "D$")
+	printThroughput(wall, ic.Stats().Accesses+dc.Stats().Accesses, res.Instructions)
+
+	if cfg.reportPath != "" {
+		r := obs.NewReport(dc)
+		r.Config.Benchmark = benchLabel(cfg)
+		r.Config.Side = "d"
+		r.AttachSampler(sampler)
+		r.SetThroughput(wall, res.Instructions)
+		if err := r.WriteFile(cfg.reportPath); err != nil {
+			return err
+		}
+		fmt.Printf("report      : %s (%d samples, %d series)\n",
+			cfg.reportPath, len(r.Samples), len(r.Series))
+	}
+	return nil
+}
+
+// benchLabel names the input stream for the report.
+func benchLabel(cfg runCfg) string {
+	switch {
+	case cfg.tracePath != "":
+		return "trace:" + cfg.tracePath
+	case cfg.profile != "":
+		return "profile:" + cfg.profile
+	}
+	return cfg.bench
+}
+
+// printThroughput reports simulator speed (wall clock, not modelled
+// hardware time).
+func printThroughput(wall time.Duration, accesses, instructions uint64) {
+	sec := wall.Seconds()
+	if sec <= 0 {
+		return
+	}
+	fmt.Printf("wall        : %v (%.2fM accesses/s, %.2fM instr/s)\n",
+		wall.Round(time.Millisecond),
+		float64(accesses)/sec/1e6, float64(instructions)/sec/1e6)
 }
 
 func printPD(c cache.Cache, label string) {

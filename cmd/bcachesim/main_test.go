@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"bcache/internal/obs"
 	"bcache/internal/trace"
 )
 
@@ -110,6 +111,54 @@ func TestOpenStreamJSONProfile(t *testing.T) {
 	}
 	if _, err := openStream("", "", filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("missing profile accepted")
+	}
+}
+
+func TestRunWritesReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.json")
+	cfg := runCfg{
+		bench: "equake", kind: "bcache", size: 16 * 1024, line: 32,
+		mf: 8, bas: 8, policy: "lru", entries: 16,
+		n: 400_000, side: "d", reportPath: path, interval: 4096,
+	}
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	r, err := obs.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Config.Benchmark != "equake" || r.Config.Side != "d" {
+		t.Fatalf("report config = %+v", r.Config)
+	}
+	if len(r.Series) < 2 {
+		t.Fatalf("report has %d series, want >= 2", len(r.Series))
+	}
+	for _, s := range r.Series {
+		if len(s.Points) < 10 {
+			t.Fatalf("series %q has %d points, want >= 10", s.Name, len(s.Points))
+		}
+	}
+	if len(r.Samples) < 10 {
+		t.Fatalf("report has %d samples, want >= 10", len(r.Samples))
+	}
+	if r.PD == nil {
+		t.Fatal("B-Cache report missing PD totals")
+	}
+	if r.Throughput == nil || r.Throughput.AccessesPerSecond <= 0 {
+		t.Fatalf("report throughput = %+v", r.Throughput)
+	}
+}
+
+func TestRunReportUnsupportedCache(t *testing.T) {
+	cfg := runCfg{
+		bench: "gcc", kind: "column", size: 16 * 1024, line: 32,
+		mf: 8, bas: 8, policy: "lru", entries: 16,
+		n: 1000, side: "d", reportPath: filepath.Join(t.TempDir(), "r.json"),
+		interval: 4096,
+	}
+	if err := run(cfg); err == nil {
+		t.Fatal("cache without a probe attach point accepted -report")
 	}
 }
 

@@ -5,7 +5,10 @@
 //	experiments [-run id[,id...]] [-n instructions] [-size bytes] [-workers n]
 //
 // Without -run, every registered experiment executes in order. Use
-// -list to see the available IDs.
+// -list to see the available IDs. -format json emits one
+// schema-versioned document holding every table plus per-experiment
+// wall-clock times (see experiment.Document); -cpuprofile and
+// -memprofile write pprof profiles of the run.
 package main
 
 import (
@@ -13,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -26,10 +31,12 @@ func main() {
 		n       = flag.Uint64("n", 0, "instructions per run (default: experiment default)")
 		size    = flag.Int("size", 0, "L1 size in bytes (default 16384; fig12 manages its own sizes)")
 		workers = flag.Int("workers", 0, "parallel benchmark runs (default GOMAXPROCS)")
-		format  = flag.String("format", "text", "output format: text | csv")
+		format  = flag.String("format", "text", "output format: text | csv | json")
 		outPath = flag.String("o", "", "write output to this file instead of stdout")
 		verify  = flag.Bool("verify", false, "run the reproduction checklist instead of experiments")
 		seeds   = flag.Int("seeds", 0, "replicate miss-rate runs over N workload seeds and average")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -38,6 +45,13 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
 	}
 
 	opts := experiment.DefaultOpts()
@@ -53,6 +67,35 @@ func main() {
 	if *seeds > 0 {
 		opts.Seeds = *seeds
 	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	defer func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	if *verify {
 		_, failedChecks, err := experiment.Verify(opts, os.Stdout)
@@ -91,6 +134,7 @@ func main() {
 		out = f
 	}
 
+	var results []experiment.Result
 	for _, e := range exps {
 		start := time.Now()
 		tables, err := e.Run(opts)
@@ -98,22 +142,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
-		for _, t := range tables {
-			switch *format {
-			case "text":
+		elapsed := time.Since(start)
+		switch *format {
+		case "text":
+			for _, t := range tables {
 				fmt.Fprintln(out, t.Render())
-			case "csv":
+			}
+			fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+		case "csv":
+			for _, t := range tables {
 				if err := t.WriteCSV(out); err != nil {
 					fmt.Fprintln(os.Stderr, err)
 					os.Exit(1)
 				}
-			default:
-				fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
-				os.Exit(2)
 			}
+		case "json":
+			r := experiment.Result{ID: e.ID, Title: e.Title, ElapsedSeconds: elapsed.Seconds()}
+			for _, t := range tables {
+				r.Tables = append(r.Tables, t.JSON())
+			}
+			results = append(results, r)
 		}
-		if *format == "text" {
-			fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *format == "json" {
+		if err := experiment.NewDocument(results).Write(out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	}
 }

@@ -1,0 +1,130 @@
+// Command obsbench regenerates BENCH_obs.json: the observability
+// baseline used to spot simulator behavior drift across PRs. It runs a
+// fixed 3×3 matrix — equake/gcc/mcf against a 16 kB direct-mapped
+// cache, an 8-way set-associative cache, and the paper's B-Cache
+// (MF=8, BAS=8) — with an interval sampler attached, and writes every
+// run's obs.Report into one schema-versioned document.
+//
+// Usage:
+//
+//	obsbench [-n instructions] [-o BENCH_obs.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/obs"
+	"bcache/internal/rng"
+	"bcache/internal/trace"
+	"bcache/internal/workload"
+)
+
+const (
+	sizeBytes = 16 * 1024
+	lineBytes = 32
+)
+
+// Baseline is the BENCH_obs.json document: one report per matrix cell.
+type Baseline struct {
+	SchemaVersion int           `json:"schemaVersion"`
+	Instructions  uint64        `json:"instructions"`
+	Runs          []*obs.Report `json:"runs"`
+}
+
+var benches = []string{"equake", "gcc", "mcf"}
+
+var configs = []struct {
+	label string
+	build func() (cache.Cache, error)
+}{
+	{"dm", func() (cache.Cache, error) { return cache.NewDirectMapped(sizeBytes, lineBytes) }},
+	{"8way", func() (cache.Cache, error) {
+		return cache.NewSetAssoc(sizeBytes, lineBytes, 8, cache.LRU, rng.New(1))
+	}},
+	{"bcache-mf8-bas8", func() (cache.Cache, error) {
+		return core.New(core.Config{SizeBytes: sizeBytes, LineBytes: lineBytes, MF: 8, BAS: 8, Policy: cache.LRU})
+	}},
+}
+
+func main() {
+	var (
+		n       = flag.Uint64("n", 2_000_000, "instructions per run")
+		outPath = flag.String("o", "BENCH_obs.json", "output file")
+	)
+	flag.Parse()
+
+	doc := Baseline{SchemaVersion: obs.SchemaVersion, Instructions: *n}
+	for _, bench := range benches {
+		for _, cfg := range configs {
+			r, err := run(bench, cfg.label, cfg.build, *n)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "obsbench: %s/%s: %v\n", bench, cfg.label, err)
+				os.Exit(1)
+			}
+			doc.Runs = append(doc.Runs, r)
+			fmt.Printf("%-8s %-16s missRate=%7.4f%% accesses=%d samples=%d\n",
+				bench, cfg.label, 100*r.Totals.MissRate, r.Totals.Accesses, len(r.Samples))
+		}
+	}
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "obsbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d runs)\n", *outPath, len(doc.Runs))
+}
+
+// run simulates one matrix cell: a fresh workload generator driving a
+// fresh cache with an interval sampler attached for the full run.
+func run(bench, label string, build func() (cache.Cache, error), n uint64) (*obs.Report, error) {
+	p, err := workload.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	g, err := workload.New(p)
+	if err != nil {
+		return nil, err
+	}
+	c, err := build()
+	if err != nil {
+		return nil, err
+	}
+	sampler := obs.NewIntervalSampler(0, c.Geometry().Frames)
+	if !cache.AttachProbe(c, sampler) {
+		return nil, fmt.Errorf("cache %q does not accept probes", label)
+	}
+
+	start := time.Now()
+	for i := uint64(0); i < n; i++ {
+		rec, _ := g.Next()
+		if rec.Kind.IsMem() {
+			c.Access(rec.Mem, rec.Kind == trace.Store)
+		}
+	}
+	wall := time.Since(start)
+
+	r := obs.NewReport(c)
+	r.Config.Benchmark = bench
+	r.Config.Cache = label
+	r.AttachSampler(sampler)
+	r.SetThroughput(wall, n)
+	return r, nil
+}

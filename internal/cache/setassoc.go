@@ -24,6 +24,7 @@ type SetAssoc struct {
 	lines    []line   // Sets*Ways, set-major: frame = set*Ways + way
 	policies []Policy // one per set
 	stats    *Stats
+	probe    Probe // nil unless observability is attached
 	name     string
 }
 
@@ -86,6 +87,9 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 				ln.dirty = true
 			}
 			c.stats.Record(base+w, true, write)
+			if c.probe != nil {
+				c.probe.ObserveAccess(base+w, true, write)
+			}
 			return Result{Hit: true, Frame: base + w}
 		}
 	}
@@ -106,13 +110,22 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 		res.EvictedAddr = c.lineAddr(old.tag, set)
 		res.EvictedDirty = old.dirty
 		c.stats.RecordEviction(old.dirty)
+		if c.probe != nil {
+			c.probe.ObserveEvict(old.dirty)
+		}
 	}
 	c.lines[base+way] = line{valid: true, dirty: write, tag: tag}
 	pol.Touch(way)
 	res.Frame = base + way
 	c.stats.Record(base+way, false, write)
+	if c.probe != nil {
+		c.probe.ObserveAccess(base+way, false, write)
+	}
 	return res
 }
+
+// SetProbe implements Probed. Passing nil detaches.
+func (c *SetAssoc) SetProbe(p Probe) { c.probe = p }
 
 // Contains implements Cache.
 func (c *SetAssoc) Contains(a addr.Addr) bool {

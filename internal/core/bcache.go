@@ -110,6 +110,7 @@ type BCache struct {
 
 	stats   *cache.Stats
 	pdStats PDStats
+	probe   cache.Probe // nil unless observability is attached
 }
 
 var _ cache.Cache = (*BCache)(nil)
@@ -216,6 +217,12 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 			}
 			c.pdStats.HitPD++
 			c.stats.Record(fi, true, write)
+			if c.probe != nil {
+				// A cache hit is a PD hit by definition (§2.3), so the
+				// hot path emits a single event; probes derive total PD
+				// hits as Hits + PDHits-during-miss.
+				c.probe.ObserveAccess(fi, true, write)
+			}
 			return cache.Result{Hit: true, Frame: fi}
 		}
 		// PD hit, cache miss: unique decoding forces this frame as the
@@ -224,6 +231,10 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 		c.pdStats.MissPDHit++
 		res := c.refill(fi, frame{pdValid: true, pd: pi, valid: true, dirty: write, tag: tag}, row, cl)
 		c.stats.Record(fi, false, write)
+		if c.probe != nil {
+			c.probe.ObservePD(true)
+			c.probe.ObserveAccess(fi, false, write)
+		}
 		return res
 	}
 
@@ -245,6 +256,11 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 	c.pdStats.Programmed++
 	res := c.refill(fi, frame{pdValid: true, pd: pi, valid: true, dirty: write, tag: tag}, row, cl)
 	c.stats.Record(fi, false, write)
+	if c.probe != nil {
+		c.probe.ObservePD(false)
+		c.probe.ObserveReprogram()
+		c.probe.ObserveAccess(fi, false, write)
+	}
 	return res
 }
 
@@ -258,6 +274,9 @@ func (c *BCache) refill(fi int, nf frame, row, cluster int) cache.Result {
 		res.EvictedAddr = c.frameLineAddr(old, row)
 		res.EvictedDirty = old.dirty
 		c.stats.RecordEviction(old.dirty)
+		if c.probe != nil {
+			c.probe.ObserveEvict(old.dirty)
+		}
 	}
 	c.frames[fi] = nf
 	c.policies[row].Touch(cluster)
@@ -287,6 +306,9 @@ func (c *BCache) Stats() *cache.Stats { return c.stats }
 
 // PDStats returns the programmable-decoder counters.
 func (c *BCache) PDStats() PDStats { return c.pdStats }
+
+// SetProbe implements cache.Probed. Passing nil detaches.
+func (c *BCache) SetProbe(p cache.Probe) { c.probe = p }
 
 // Geometry implements cache.Cache.
 func (c *BCache) Geometry() cache.Geometry { return c.geom }

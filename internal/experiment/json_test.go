@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDocumentRoundTrip(t *testing.T) {
+	tbl := &Table{
+		ID: "table6", Title: "PD hit rate during miss", Note: "calibrated",
+		Headers: []string{"bench", "rate"},
+	}
+	tbl.AddRow("equake", "14.2%")
+	doc := NewDocument([]Result{{
+		ID: "table6", Title: tbl.Title, ElapsedSeconds: 1.5,
+		Tables: []TableJSON{tbl.JSON()},
+	}})
+
+	var buf bytes.Buffer
+	if err := doc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SchemaVersion != DocSchemaVersion || len(got.Results) != 1 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	r := got.Results[0]
+	if r.ID != "table6" || r.ElapsedSeconds != 1.5 || len(r.Tables) != 1 {
+		t.Fatalf("result mangled: %+v", r)
+	}
+	tj := r.Tables[0]
+	if tj.Note != "calibrated" || len(tj.Rows) != 1 || tj.Rows[0][1] != "14.2%" {
+		t.Fatalf("table mangled: %+v", tj)
+	}
+}
+
+func TestDocumentSchemaVersionRejected(t *testing.T) {
+	bad := strings.NewReader(`{"schemaVersion": 99, "experiments": []}`)
+	if _, err := LoadDocument(bad); err == nil {
+		t.Fatal("accepted unknown schema version")
+	}
+}

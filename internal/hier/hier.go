@@ -68,7 +68,18 @@ type Hierarchy struct {
 
 	// stream is the FIFO stream buffer (line addresses), nil if disabled.
 	stream []addr.Addr
+
+	// probe observes hierarchy-level events (L1 writebacks reaching the
+	// L2); nil unless observability is attached.
+	probe cache.Probe
 }
+
+// SetProbe attaches a probe to the hierarchy itself. The hierarchy emits
+// ObserveWriteback once per dirty L1 victim written into the L2 — the
+// event the L1's own ObserveEvict(dirty=true) only promises. Attach the
+// same probe to an L1 (cache.AttachProbe) to correlate the two streams.
+// Passing nil detaches.
+func (h *Hierarchy) SetProbe(p cache.Probe) { h.probe = p }
 
 // New builds a hierarchy around the given L1 instruction and data caches,
 // with the Config's conventional set-associative L2.
@@ -115,6 +126,9 @@ func (h *Hierarchy) access(l1 cache.Cache, a addr.Addr, write, streamOK bool) in
 		// Write the dirty victim back into the L2 (off the critical path;
 		// latency not charged to this access).
 		h.L1Writebacks++
+		if h.probe != nil {
+			h.probe.ObserveWriteback()
+		}
 		h.l2Access(r.EvictedAddr, true)
 	}
 	if r.Hit {

@@ -1,0 +1,73 @@
+package obs
+
+import "bcache/internal/cache"
+
+// Counters is the cheapest probe: run-total event counts. The fields
+// mirror the cache.Probe event points one-to-one.
+type Counters struct {
+	Accesses uint64 `json:"accesses"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Writes   uint64 `json:"writes"`
+	// PDHits/PDMisses classify cache MISSES by decoder outcome (forced
+	// victim vs predetermined); cache hits are PD hits by definition and
+	// are not re-counted here.
+	PDHits     uint64 `json:"pdHits"`
+	PDMisses   uint64 `json:"pdMisses"`
+	Reprograms uint64 `json:"reprograms"`
+	Evictions  uint64 `json:"evictions"`
+	// DirtyEvictions counts evictions the emitting cache marked dirty
+	// (writebacks owed); Writebacks counts those the hierarchy actually
+	// performed against the L2.
+	DirtyEvictions uint64 `json:"dirtyEvictions"`
+	Writebacks     uint64 `json:"writebacks"`
+}
+
+var _ cache.Probe = (*Counters)(nil)
+
+// ObserveAccess implements cache.Probe.
+func (c *Counters) ObserveAccess(frame int, hit, write bool) {
+	c.Accesses++
+	if hit {
+		c.Hits++
+	} else {
+		c.Misses++
+	}
+	if write {
+		c.Writes++
+	}
+}
+
+// ObservePD implements cache.Probe.
+func (c *Counters) ObservePD(hit bool) {
+	if hit {
+		c.PDHits++
+	} else {
+		c.PDMisses++
+	}
+}
+
+// ObserveReprogram implements cache.Probe.
+func (c *Counters) ObserveReprogram() { c.Reprograms++ }
+
+// ObserveEvict implements cache.Probe.
+func (c *Counters) ObserveEvict(dirty bool) {
+	c.Evictions++
+	if dirty {
+		c.DirtyEvictions++
+	}
+}
+
+// ObserveWriteback implements cache.Probe.
+func (c *Counters) ObserveWriteback() { c.Writebacks++ }
+
+// MissRate returns Misses/Accesses, or 0 for an idle probe.
+func (c *Counters) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Reset zeroes the counters.
+func (c *Counters) Reset() { *c = Counters{} }

@@ -1,0 +1,258 @@
+package obs
+
+import "bcache/internal/cache"
+
+const (
+	// maxSamples bounds the sample buffer. When a run outgrows it the
+	// sampler compacts: adjacent samples merge pairwise and the interval
+	// doubles, so memory stays fixed while the whole run remains covered
+	// at a coarser resolution (compaction preserves every counter total).
+	maxSamples = 256
+	// maxHeatBuckets bounds the per-set occupancy resolution: caches with
+	// more frames are downsampled into contiguous equal-size bucket
+	// ranges.
+	maxHeatBuckets = 64
+)
+
+// Sample is one closed observation interval. Counter fields are deltas
+// within the interval; EndAccess locates it on the run's access axis.
+type Sample struct {
+	// EndAccess is the cumulative access count when the interval closed;
+	// the interval covers accesses (EndAccess-Accesses, EndAccess].
+	EndAccess uint64 `json:"endAccess"`
+
+	Accesses uint64 `json:"accesses"`
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Writes   uint64 `json:"writes"`
+	// PDHits/PDMisses classify the interval's cache misses by decoder
+	// outcome (see cache.Probe.ObservePD).
+	PDHits         uint64 `json:"pdHits"`
+	PDMisses       uint64 `json:"pdMisses"`
+	Reprograms     uint64 `json:"reprograms"`
+	Evictions      uint64 `json:"evictions"`
+	DirtyEvictions uint64 `json:"dirtyEvictions"`
+	Writebacks     uint64 `json:"writebacks"`
+}
+
+// MissRate returns the interval's miss rate, 0 if it saw no accesses.
+func (s Sample) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// PDMissRate returns the fraction of the interval's cache misses whose
+// PD lookup also missed (the predetermined misses of §2.3) — the
+// complement of the paper's Table 6 "PD hit rate during miss". 0 without
+// PD events.
+func (s Sample) PDMissRate() float64 {
+	n := s.PDHits + s.PDMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(s.PDMisses) / float64(n)
+}
+
+// ReprogramsPerKiloAccess returns decoder reprogrammings normalized to
+// 1000 accesses — the paper-style churn metric for §3.3's on-the-fly
+// reprogramming.
+func (s Sample) ReprogramsPerKiloAccess() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return 1000 * float64(s.Reprograms) / float64(s.Accesses)
+}
+
+// IntervalSampler is a probe that closes a Sample every interval
+// accesses, producing the time-series and per-set occupancy heat rows a
+// run report plots. All memory is allocated at construction; observing
+// an event never allocates, and a full buffer compacts in place.
+type IntervalSampler struct {
+	every     uint64 // current interval length (doubles on compaction)
+	total     uint64 // accesses observed so far
+	nextClose uint64 // total at which the open interval closes
+
+	cur     Sample
+	samples []Sample // len grows to maxSamples, backing array fixed
+
+	// Heat rows: row i is heatBuf[i*buckets:(i+1)*buckets] and pairs with
+	// samples[i]; curHeat is the open interval's row. Frames map to
+	// buckets by frame>>bucketShift (frames per bucket is rounded up to a
+	// power of two so the hot path shifts instead of dividing).
+	buckets     int
+	bucketShift uint
+	curHeat     []uint64
+	heatBuf     []uint64
+}
+
+var _ cache.Probe = (*IntervalSampler)(nil)
+
+// NewIntervalSampler builds a sampler closing a sample every `every`
+// accesses over a cache with `frames` line frames (frames ≤ 0 disables
+// the occupancy heatmap). every ≤ 0 defaults to 8192.
+func NewIntervalSampler(every uint64, frames int) *IntervalSampler {
+	if every == 0 {
+		every = 8192
+	}
+	s := &IntervalSampler{
+		every:     every,
+		nextClose: every,
+		samples:   make([]Sample, 0, maxSamples),
+	}
+	if frames > 0 {
+		// Frames per bucket, rounded up to a power of two.
+		fpb := 1
+		for frames/fpb > maxHeatBuckets {
+			fpb *= 2
+		}
+		s.buckets = (frames + fpb - 1) / fpb
+		for 1<<s.bucketShift < fpb {
+			s.bucketShift++
+		}
+		s.curHeat = make([]uint64, s.buckets)
+		s.heatBuf = make([]uint64, maxSamples*s.buckets)
+	}
+	return s
+}
+
+// Interval returns the current interval length in accesses (it doubles
+// every time the sample buffer compacts).
+func (s *IntervalSampler) Interval() uint64 { return s.every }
+
+// Total returns the number of accesses observed so far.
+func (s *IntervalSampler) Total() uint64 { return s.total }
+
+// ObserveAccess implements cache.Probe.
+func (s *IntervalSampler) ObserveAccess(frame int, hit, write bool) {
+	s.cur.Accesses++
+	if hit {
+		s.cur.Hits++
+	} else {
+		s.cur.Misses++
+	}
+	if write {
+		s.cur.Writes++
+	}
+	if s.curHeat != nil {
+		b := frame >> s.bucketShift
+		if uint(b) >= uint(len(s.curHeat)) {
+			b = len(s.curHeat) - 1
+		}
+		s.curHeat[b]++
+	}
+	s.total++
+	if s.total >= s.nextClose {
+		s.close()
+	}
+}
+
+// ObservePD implements cache.Probe.
+func (s *IntervalSampler) ObservePD(hit bool) {
+	if hit {
+		s.cur.PDHits++
+	} else {
+		s.cur.PDMisses++
+	}
+}
+
+// ObserveReprogram implements cache.Probe.
+func (s *IntervalSampler) ObserveReprogram() { s.cur.Reprograms++ }
+
+// ObserveEvict implements cache.Probe.
+func (s *IntervalSampler) ObserveEvict(dirty bool) {
+	s.cur.Evictions++
+	if dirty {
+		s.cur.DirtyEvictions++
+	}
+}
+
+// ObserveWriteback implements cache.Probe.
+func (s *IntervalSampler) ObserveWriteback() { s.cur.Writebacks++ }
+
+// Flush closes the open interval if it observed anything. Call once at
+// end of run so the tail shorter than one interval is not dropped.
+func (s *IntervalSampler) Flush() {
+	if s.cur != (Sample{}) {
+		s.close()
+	}
+}
+
+// close seals the open interval into the sample buffer.
+func (s *IntervalSampler) close() {
+	if len(s.samples) == maxSamples {
+		s.compact()
+	}
+	s.cur.EndAccess = s.total
+	i := len(s.samples)
+	s.samples = append(s.samples, s.cur)
+	s.cur = Sample{}
+	if s.curHeat != nil {
+		copy(s.heatBuf[i*s.buckets:(i+1)*s.buckets], s.curHeat)
+		clear(s.curHeat)
+	}
+	s.nextClose = s.total + s.every
+}
+
+// compact merges samples pairwise in place and doubles the interval.
+func (s *IntervalSampler) compact() {
+	half := len(s.samples) / 2
+	for i := 0; i < half; i++ {
+		a, b := s.samples[2*i], s.samples[2*i+1]
+		s.samples[i] = Sample{
+			EndAccess:      b.EndAccess,
+			Accesses:       a.Accesses + b.Accesses,
+			Hits:           a.Hits + b.Hits,
+			Misses:         a.Misses + b.Misses,
+			Writes:         a.Writes + b.Writes,
+			PDHits:         a.PDHits + b.PDHits,
+			PDMisses:       a.PDMisses + b.PDMisses,
+			Reprograms:     a.Reprograms + b.Reprograms,
+			Evictions:      a.Evictions + b.Evictions,
+			DirtyEvictions: a.DirtyEvictions + b.DirtyEvictions,
+			Writebacks:     a.Writebacks + b.Writebacks,
+		}
+		if s.curHeat != nil {
+			dst := s.heatBuf[i*s.buckets : (i+1)*s.buckets]
+			ra := s.heatBuf[(2*i)*s.buckets : (2*i+1)*s.buckets]
+			rb := s.heatBuf[(2*i+1)*s.buckets : (2*i+2)*s.buckets]
+			for j := range dst {
+				dst[j] = ra[j] + rb[j]
+			}
+		}
+	}
+	s.samples = s.samples[:half]
+	s.every *= 2
+}
+
+// Samples returns a copy of the closed samples in run order.
+func (s *IntervalSampler) Samples() []Sample {
+	out := make([]Sample, len(s.samples))
+	copy(out, s.samples)
+	return out
+}
+
+// HeatBuckets returns the occupancy resolution (0 if disabled).
+func (s *IntervalSampler) HeatBuckets() int {
+	if s.curHeat == nil {
+		return 0
+	}
+	return s.buckets
+}
+
+// Heat returns per-sample occupancy rows: Heat()[i][b] is the number of
+// interval-i accesses served by frames in bucket b (each bucket covers
+// 2^bucketShift consecutive frames). Nil if the heatmap is disabled.
+func (s *IntervalSampler) Heat() [][]uint64 {
+	if s.curHeat == nil {
+		return nil
+	}
+	out := make([][]uint64, len(s.samples))
+	for i := range out {
+		row := make([]uint64, s.buckets)
+		copy(row, s.heatBuf[i*s.buckets:(i+1)*s.buckets])
+		out[i] = row
+	}
+	return out
+}

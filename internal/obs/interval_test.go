@@ -1,0 +1,201 @@
+package obs
+
+import (
+	"testing"
+
+	addrpkg "bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+)
+
+func TestIntervalSamplerClosesEveryN(t *testing.T) {
+	s := NewIntervalSampler(100, 0)
+	for i := 0; i < 1000; i++ {
+		s.ObserveAccess(0, i%2 == 0, false)
+	}
+	samples := s.Samples()
+	if len(samples) != 10 {
+		t.Fatalf("got %d samples, want 10", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.Accesses != 100 {
+			t.Fatalf("sample %d covers %d accesses, want 100", i, smp.Accesses)
+		}
+		if smp.EndAccess != uint64((i+1)*100) {
+			t.Fatalf("sample %d ends at %d, want %d", i, smp.EndAccess, (i+1)*100)
+		}
+		if smp.MissRate() != 0.5 {
+			t.Fatalf("sample %d miss rate %v, want 0.5", i, smp.MissRate())
+		}
+	}
+}
+
+func TestIntervalSamplerFlushTail(t *testing.T) {
+	s := NewIntervalSampler(100, 0)
+	for i := 0; i < 250; i++ {
+		s.ObserveAccess(0, false, false)
+	}
+	if n := len(s.Samples()); n != 2 {
+		t.Fatalf("before flush: %d samples, want 2", n)
+	}
+	s.Flush()
+	samples := s.Samples()
+	if len(samples) != 3 {
+		t.Fatalf("after flush: %d samples, want 3", len(samples))
+	}
+	if tail := samples[2]; tail.Accesses != 50 || tail.EndAccess != 250 {
+		t.Fatalf("tail sample = %+v, want 50 accesses ending at 250", tail)
+	}
+	s.Flush() // idempotent: empty open interval must not close again
+	if n := len(s.Samples()); n != 3 {
+		t.Fatalf("double flush added a sample: %d", n)
+	}
+}
+
+func TestIntervalSamplerNonAccessEvents(t *testing.T) {
+	s := NewIntervalSampler(10, 0)
+	for i := 0; i < 10; i++ {
+		s.ObservePD(i%2 == 0)
+		s.ObserveReprogram()
+		s.ObserveEvict(i%5 == 0)
+		s.ObserveWriteback()
+		s.ObserveAccess(0, false, true)
+	}
+	samples := s.Samples()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	smp := samples[0]
+	if smp.PDHits != 5 || smp.PDMisses != 5 || smp.Reprograms != 10 ||
+		smp.Evictions != 10 || smp.DirtyEvictions != 2 || smp.Writebacks != 10 ||
+		smp.Writes != 10 {
+		t.Fatalf("sample counters wrong: %+v", smp)
+	}
+	if smp.PDMissRate() != 0.5 {
+		t.Fatalf("PD miss rate %v, want 0.5", smp.PDMissRate())
+	}
+	if smp.ReprogramsPerKiloAccess() != 1000 {
+		t.Fatalf("reprograms/kaccess %v, want 1000", smp.ReprogramsPerKiloAccess())
+	}
+}
+
+func TestIntervalSamplerCompaction(t *testing.T) {
+	s := NewIntervalSampler(10, 8)
+	// maxSamples*10 accesses fill the buffer; 4x that forces two
+	// compactions.
+	total := maxSamples * 10 * 4
+	for i := 0; i < total; i++ {
+		s.ObserveAccess(i%8, i%4 != 0, false)
+	}
+	if s.Interval() < 40 {
+		t.Fatalf("interval after two compactions = %d, want >= 40", s.Interval())
+	}
+	s.Flush()
+	samples := s.Samples()
+	if len(samples) > maxSamples {
+		t.Fatalf("%d samples exceed the %d bound", len(samples), maxSamples)
+	}
+	// Compaction must preserve totals exactly.
+	var acc, misses uint64
+	for _, smp := range samples {
+		acc += smp.Accesses
+		misses += smp.Misses
+	}
+	if acc != uint64(total) {
+		t.Fatalf("samples cover %d accesses, want %d", acc, total)
+	}
+	if want := uint64(total / 4); misses != want {
+		t.Fatalf("samples hold %d misses, want %d", misses, want)
+	}
+	// EndAccess stays strictly increasing and ends at the run length.
+	prev := uint64(0)
+	for i, smp := range samples {
+		if smp.EndAccess <= prev {
+			t.Fatalf("sample %d EndAccess %d not increasing (prev %d)", i, smp.EndAccess, prev)
+		}
+		prev = smp.EndAccess
+	}
+	if prev != uint64(total) {
+		t.Fatalf("last sample ends at %d, want %d", prev, total)
+	}
+	// Heat rows merge alongside: every access hit one bucket.
+	var heatTotal uint64
+	for _, row := range s.Heat() {
+		for _, v := range row {
+			heatTotal += v
+		}
+	}
+	if heatTotal != uint64(total) {
+		t.Fatalf("heat rows cover %d accesses, want %d", heatTotal, total)
+	}
+}
+
+func TestIntervalSamplerHeatBucketsDownsample(t *testing.T) {
+	s := NewIntervalSampler(512, 512) // 512 frames -> 64 buckets of 8
+	if s.HeatBuckets() != maxHeatBuckets {
+		t.Fatalf("buckets = %d, want %d", s.HeatBuckets(), maxHeatBuckets)
+	}
+	for f := 0; f < 512; f++ {
+		s.ObserveAccess(f, true, false)
+	}
+	heat := s.Heat()
+	if len(heat) != 1 {
+		t.Fatalf("%d heat rows, want 1", len(heat))
+	}
+	for b, v := range heat[0] {
+		if v != 8 {
+			t.Fatalf("bucket %d holds %d accesses, want 8", b, v)
+		}
+	}
+}
+
+func TestIntervalSamplerSmallCacheHeat(t *testing.T) {
+	s := NewIntervalSampler(4, 2) // fewer frames than maxHeatBuckets
+	if s.HeatBuckets() != 2 {
+		t.Fatalf("buckets = %d, want 2", s.HeatBuckets())
+	}
+	s.ObserveAccess(0, true, false)
+	s.ObserveAccess(1, true, false)
+	s.ObserveAccess(1, true, false)
+	s.Flush()
+	heat := s.Heat()
+	if heat[0][0] != 1 || heat[0][1] != 2 {
+		t.Fatalf("heat row = %v, want [1 2]", heat[0])
+	}
+}
+
+// TestSamplerAgainstRealRun cross-checks the sampler's accumulated
+// series against the cache's own statistics over a realistic PD-churn
+// workload.
+func TestSamplerAgainstRealRun(t *testing.T) {
+	bc, err := core.New(core.Config{SizeBytes: 16 * 1024, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewIntervalSampler(1000, bc.Geometry().Frames)
+	bc.SetProbe(s)
+	for i := 0; i < 50000; i++ {
+		bc.Access(addrAt(i), i%7 == 0)
+	}
+	s.Flush()
+	var acc, misses, reprog uint64
+	for _, smp := range s.Samples() {
+		acc += smp.Accesses
+		misses += smp.Misses
+		reprog += smp.Reprograms
+	}
+	st := bc.Stats()
+	if acc != st.Accesses || misses != st.Misses {
+		t.Fatalf("series totals %d/%d != stats %d/%d", acc, misses, st.Accesses, st.Misses)
+	}
+	if reprog != bc.PDStats().Programmed {
+		t.Fatalf("series reprograms %d != stats %d", reprog, bc.PDStats().Programmed)
+	}
+}
+
+// addrAt generates a drifting hot-set access pattern: enough reuse to
+// hit, enough churn to keep reprogramming decoders.
+func addrAt(i int) addrpkg.Addr {
+	base := (i / 10000) * 131072 // phase shift every 10k accesses
+	return addrpkg.Addr(base + (i%97)*32)
+}

@@ -1,0 +1,100 @@
+// Package obs is the simulator's observability layer: implementations of
+// the cache.Probe event interface plus the schema-versioned JSON run
+// report the CLIs emit.
+//
+// The paper's claims are dynamic — PD misses reprogram decoder entries on
+// the fly (§3.3) and traffic rebalances across sets over a run (§6.4) —
+// so run-end aggregate counters cannot show them. This package turns the
+// per-event stream into evidence:
+//
+//   - Counters: run-total event counts, the cheapest possible probe.
+//   - IntervalSampler: fixed-memory time-series (miss rate, PD miss rate,
+//     reprograms per kilo-access, per-set occupancy heat) snapshotted
+//     every N accesses, with adaptive compaction so arbitrarily long runs
+//     fit a bounded sample buffer.
+//   - Multi: fan-out to several probes.
+//   - Report: a versioned, diffable JSON document combining configuration,
+//     totals, set-balance classification, throughput, and the sampler's
+//     series.
+//
+// All probes are zero-allocation per observed event (enforced by
+// alloc_test.go) and nil-safe at the emission sites, so an unattached
+// simulator pays only a nil check per access.
+package obs
+
+import "bcache/internal/cache"
+
+// Nop is a cache.Probe that ignores every event. Embed it to implement
+// only the events a custom probe cares about.
+type Nop struct{}
+
+var _ cache.Probe = Nop{}
+
+// ObserveAccess implements cache.Probe.
+func (Nop) ObserveAccess(frame int, hit, write bool) {}
+
+// ObservePD implements cache.Probe.
+func (Nop) ObservePD(hit bool) {}
+
+// ObserveReprogram implements cache.Probe.
+func (Nop) ObserveReprogram() {}
+
+// ObserveEvict implements cache.Probe.
+func (Nop) ObserveEvict(dirty bool) {}
+
+// ObserveWriteback implements cache.Probe.
+func (Nop) ObserveWriteback() {}
+
+// multi fans every event out to each attached probe, in order.
+type multi []cache.Probe
+
+var _ cache.Probe = multi(nil)
+
+// Multi combines probes into one. Nil entries are dropped; with zero or
+// one live probe the result is nil or that probe itself, so emission
+// sites never pay fan-out overhead they don't need.
+func Multi(probes ...cache.Probe) cache.Probe {
+	live := make(multi, 0, len(probes))
+	for _, p := range probes {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
+func (m multi) ObserveAccess(frame int, hit, write bool) {
+	for _, p := range m {
+		p.ObserveAccess(frame, hit, write)
+	}
+}
+
+func (m multi) ObservePD(hit bool) {
+	for _, p := range m {
+		p.ObservePD(hit)
+	}
+}
+
+func (m multi) ObserveReprogram() {
+	for _, p := range m {
+		p.ObserveReprogram()
+	}
+}
+
+func (m multi) ObserveEvict(dirty bool) {
+	for _, p := range m {
+		p.ObserveEvict(dirty)
+	}
+}
+
+func (m multi) ObserveWriteback() {
+	for _, p := range m {
+		p.ObserveWriteback()
+	}
+}

@@ -107,6 +107,90 @@ func TestBCacheBalancesAccesses(t *testing.T) {
 	}
 }
 
+// TestAnalyzeSingleFrame: with one frame the per-set average IS that
+// frame's count, so nothing can exceed 2× it or fall below half of it —
+// a fully-associative (single-set) cache is never "skewed".
+func TestAnalyzeSingleFrame(t *testing.T) {
+	s := cache.NewStats(1)
+	for i := 0; i < 50; i++ {
+		s.Record(0, i%3 != 0, i%2 == 0)
+	}
+	b, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b != (Balance{}) {
+		t.Fatalf("single-frame cache classified as skewed: %+v", b)
+	}
+}
+
+// TestAnalyzeAllMisses: a run with zero hits must classify misses
+// normally and report zero (not NaN) for the hit-side fractions.
+func TestAnalyzeAllMisses(t *testing.T) {
+	s := cache.NewStats(8)
+	for i := 0; i < 90; i++ {
+		s.Record(0, false, false) // every access misses in one set
+	}
+	for f := 1; f < 8; f++ {
+		s.Record(f, false, false)
+	}
+	b, err := Analyze(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreqHitSets != 0 || b.HitsInFreqSets != 0 {
+		t.Fatalf("hit-side fractions nonzero with zero hits: %+v", b)
+	}
+	if math.IsNaN(b.HitsInFreqSets) || math.IsNaN(b.MissesInFreqSets) {
+		t.Fatalf("NaN in all-miss classification: %+v", b)
+	}
+	if b.FreqMissSets != 1.0/8 {
+		t.Errorf("FreqMissSets = %v, want 0.125", b.FreqMissSets)
+	}
+	if b.MissesInFreqSets != 90.0/97 {
+		t.Errorf("MissesInFreqSets = %v, want 90/97", b.MissesInFreqSets)
+	}
+}
+
+// TestAnalyzeTwoXBoundary pins the paper's strict inequality: a set
+// whose hits are EXACTLY 2× the per-set average is not a frequent-hit
+// set; one hit more and it is.
+func TestAnalyzeTwoXBoundary(t *testing.T) {
+	// Hits per frame [6,2,2,2]: total 12 over 4 frames, average 3, so
+	// frame 0 sits exactly at the 2× boundary.
+	at := cache.NewStats(4)
+	for f, hits := range []int{6, 2, 2, 2} {
+		for i := 0; i < hits; i++ {
+			at.Record(f, true, false)
+		}
+	}
+	b, err := Analyze(at)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreqHitSets != 0 {
+		t.Fatalf("exactly-2x set counted as frequent-hit: %+v", b)
+	}
+
+	// [7,2,2,1] keeps the same total, pushing frame 0 past the boundary.
+	over := cache.NewStats(4)
+	for f, hits := range []int{7, 2, 2, 1} {
+		for i := 0; i < hits; i++ {
+			over.Record(f, true, false)
+		}
+	}
+	b, err = Analyze(over)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.FreqHitSets != 0.25 {
+		t.Fatalf("FreqHitSets = %v, want 0.25 once past the boundary", b.FreqHitSets)
+	}
+	if b.HitsInFreqSets != 7.0/12 {
+		t.Fatalf("HitsInFreqSets = %v, want 7/12", b.HitsInFreqSets)
+	}
+}
+
 func TestFractionsInRange(t *testing.T) {
 	src := rng.New(5)
 	s := cache.NewStats(64)

@@ -23,6 +23,7 @@ type Cache struct {
 	buf   []entry
 	clock uint64
 	stats *cache.Stats
+	probe cache.Probe // nil unless observability is attached
 	// BufferHits counts hits served from the victim buffer; these take
 	// an extra cycle when the buffer is probed after the main cache.
 	BufferHits uint64
@@ -66,6 +67,9 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 	if c.main.Contains(a) {
 		r := c.main.Access(a, write)
 		c.stats.Record(r.Frame, true, write)
+		if c.probe != nil {
+			c.probe.ObserveAccess(r.Frame, true, write)
+		}
 		return r
 	}
 
@@ -83,6 +87,9 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 			c.buf[i] = entry{}
 		}
 		c.stats.Record(frame, true, write)
+		if c.probe != nil {
+			c.probe.ObserveAccess(frame, true, write)
+		}
 		// The buffer is probed after the main cache misses: +1 cycle
 		// (paper §1: "an extra cycle is required to access the victim
 		// buffer").
@@ -99,11 +106,22 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 			res.EvictedAddr = ev.line
 			res.EvictedDirty = ev.dirty
 			c.stats.RecordEviction(ev.dirty)
+			if c.probe != nil {
+				c.probe.ObserveEvict(ev.dirty)
+			}
 		}
 	}
 	c.stats.Record(frame, false, write)
+	if c.probe != nil {
+		c.probe.ObserveAccess(frame, false, write)
+	}
 	return res
 }
+
+// SetProbe implements cache.Probed: the probe observes the combined
+// main-cache-plus-buffer behaviour (a buffer hit is a hit), matching
+// Stats(). The inner direct-mapped cache is not probed separately.
+func (c *Cache) SetProbe(p cache.Probe) { c.probe = p }
 
 // find returns the buffer slot holding line, or -1.
 func (c *Cache) find(line addr.Addr) int {
