@@ -1,6 +1,9 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-obs clean
+.PHONY: all build test race vet fmt-check ci bench bench-obs bench-perf bench-perf-json clean
+
+# benchstat-friendly repetition count for bench-perf.
+BENCH_COUNT ?= 6
 
 all: build
 
@@ -37,6 +40,20 @@ bench:
 # (equake/gcc/mcf x dm/8way/bcache).
 bench-obs:
 	$(GO) run ./cmd/obsbench -o BENCH_obs.json
+
+# bench-perf runs the simulation-engine performance benchmarks with
+# -count so the output feeds straight into benchstat (old.txt vs
+# new.txt). Covers the SWAR B-Cache kernel, the scalar reference, the
+# set-associative access path, and the end-to-end experiment suite.
+bench-perf:
+	$(GO) test -run '^$$' -bench 'BenchmarkBCacheAccess|BenchmarkReferenceAccess' -count $(BENCH_COUNT) ./internal/core
+	$(GO) test -run '^$$' -bench 'BenchmarkSetAssocAccess' -count $(BENCH_COUNT) ./internal/cache
+	$(GO) test -run '^$$' -bench 'BenchmarkSuiteEndToEnd' -count 3 .
+
+# bench-perf-json regenerates the committed BENCH_perf.json baseline
+# (kernel accesses/sec per config + full-suite wall-clock).
+bench-perf-json:
+	$(GO) run ./cmd/perfbench -o BENCH_perf.json
 
 clean:
 	$(GO) clean ./...

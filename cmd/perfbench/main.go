@@ -1,0 +1,184 @@
+// Command perfbench regenerates BENCH_perf.json: the simulation-engine
+// performance baseline tracked across PRs. It measures two things:
+//
+//  1. Kernel throughput (accesses/sec) for the main cache models — the
+//     direct-mapped baseline, 8-way and 512-way set-associative, the
+//     B-Cache at MF=8/BAS=8 on its SWAR path, and the scalar reference
+//     implementation the SWAR kernel is differentially tested against.
+//  2. Wall-clock for the full registered experiment suite — what
+//     `cmd/experiments` runs — plus the shared trace cache's hit/miss
+//     counters for that pass.
+//
+// Usage:
+//
+//	perfbench [-n instructions] [-kernel-accesses n] [-o BENCH_perf.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/experiment"
+	"bcache/internal/rng"
+)
+
+const (
+	sizeBytes = 16 * 1024
+	lineBytes = 32
+	// schemaVersion identifies the BENCH_perf.json document layout.
+	schemaVersion = 1
+)
+
+// KernelResult is one cache model's raw replay throughput.
+type KernelResult struct {
+	Config      string  `json:"config"`
+	Accesses    uint64  `json:"accesses"`
+	Seconds     float64 `json:"seconds"`
+	AccessesSec float64 `json:"accessesPerSec"`
+}
+
+// SuiteResult is one full-suite pass.
+type SuiteResult struct {
+	Instructions uint64  `json:"instructions"`
+	Experiments  int     `json:"experiments"`
+	Rows         int     `json:"rows"`
+	Seconds      float64 `json:"wallClockSeconds"`
+	TraceHits    uint64  `json:"traceCacheHits"`
+	TraceMisses  uint64  `json:"traceCacheMisses"`
+	TraceBytes   int64   `json:"traceCacheBytes"`
+}
+
+// Baseline is the BENCH_perf.json document.
+type Baseline struct {
+	SchemaVersion int            `json:"schemaVersion"`
+	Kernels       []KernelResult `json:"kernels"`
+	Suite         SuiteResult    `json:"suite"`
+}
+
+var configs = []struct {
+	label string
+	build func() (cache.Cache, error)
+}{
+	{"dm", func() (cache.Cache, error) { return cache.NewDirectMapped(sizeBytes, lineBytes) }},
+	{"8way", func() (cache.Cache, error) {
+		return cache.NewSetAssoc(sizeBytes, lineBytes, 8, cache.LRU, rng.New(1))
+	}},
+	{"512way-full", func() (cache.Cache, error) {
+		return cache.NewFullyAssoc(sizeBytes, lineBytes, cache.LRU, rng.New(1))
+	}},
+	{"bcache-mf8-bas8", func() (cache.Cache, error) {
+		return core.New(core.Config{SizeBytes: sizeBytes, LineBytes: lineBytes, MF: 8, BAS: 8, Policy: cache.LRU})
+	}},
+	{"bcache-mf8-bas8-ref", func() (cache.Cache, error) {
+		return core.NewReference(core.Config{SizeBytes: sizeBytes, LineBytes: lineBytes, MF: 8, BAS: 8, Policy: cache.LRU})
+	}},
+}
+
+func main() {
+	var (
+		n       = flag.Uint64("n", 2_000_000, "instructions per experiment in the suite pass")
+		kn      = flag.Uint64("kernel-accesses", 50_000_000, "accesses per kernel throughput run")
+		outPath = flag.String("o", "BENCH_perf.json", "output file")
+	)
+	flag.Parse()
+
+	doc := Baseline{SchemaVersion: schemaVersion}
+	for _, cfg := range configs {
+		r, err := kernelRun(cfg.label, cfg.build, *kn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perfbench: %s: %v\n", cfg.label, err)
+			os.Exit(1)
+		}
+		doc.Kernels = append(doc.Kernels, r)
+		fmt.Printf("%-20s %12.0f accesses/s\n", cfg.label, r.AccessesSec)
+	}
+
+	suite, err := suiteRun(*n)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	doc.Suite = suite
+	fmt.Printf("suite: %d experiments, %d rows in %.2fs (trace cache: %d hits / %d misses)\n",
+		suite.Experiments, suite.Rows, suite.Seconds, suite.TraceHits, suite.TraceMisses)
+
+	f, err := os.Create(*outPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err == nil {
+		err = f.Close()
+	} else {
+		f.Close()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "perfbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *outPath)
+}
+
+// kernelRun replays a synthetic conflict-heavy stream and times it.
+func kernelRun(label string, build func() (cache.Cache, error), n uint64) (KernelResult, error) {
+	c, err := build()
+	if err != nil {
+		return KernelResult{}, err
+	}
+	src := rng.New(5)
+	addrs := make([]addr.Addr, 8192)
+	for i := range addrs {
+		addrs[i] = addr.Addr(src.Intn(1 << 22))
+	}
+	start := time.Now()
+	for i := uint64(0); i < n; i++ {
+		c.Access(addrs[i&8191], false)
+	}
+	secs := time.Since(start).Seconds()
+	return KernelResult{
+		Config:      label,
+		Accesses:    n,
+		Seconds:     secs,
+		AccessesSec: float64(n) / secs,
+	}, nil
+}
+
+// suiteRun executes every registered experiment once, like
+// `cmd/experiments` with no arguments, from a cold trace cache.
+func suiteRun(n uint64) (SuiteResult, error) {
+	opts := experiment.DefaultOpts()
+	opts.Instructions = n
+	experiment.ResetTraceCache()
+	experiment.ResetTimedCache()
+	rows := 0
+	exps := experiment.All()
+	start := time.Now()
+	for _, e := range exps {
+		tables, err := e.Run(opts)
+		if err != nil {
+			return SuiteResult{}, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, t := range tables {
+			rows += len(t.Rows)
+		}
+	}
+	secs := time.Since(start).Seconds()
+	tc := experiment.TraceCacheStats()
+	return SuiteResult{
+		Instructions: n,
+		Experiments:  len(exps),
+		Rows:         rows,
+		Seconds:      secs,
+		TraceHits:    tc.Hits,
+		TraceMisses:  tc.Misses,
+		TraceBytes:   tc.Bytes,
+	}, nil
+}

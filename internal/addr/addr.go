@@ -6,7 +6,10 @@
 // that fit in 32 bits.
 package addr
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Addr is a byte address in the simulated physical address space.
 type Addr uint64
@@ -39,12 +42,7 @@ func Log2(v uint64) uint {
 	if !IsPow2(v) {
 		panic(fmt.Sprintf("addr: Log2 of non-power-of-two %d", v))
 	}
-	var n uint
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
+	return uint(bits.TrailingZeros64(v))
 }
 
 // Align returns a rounded down to a multiple of size (a power of two).

@@ -78,10 +78,10 @@ func (p *lruPolicy) Touch(way int) {
 }
 
 func (p *lruPolicy) Victim() int {
-	victim := 0
-	for w := 1; w < len(p.stamp); w++ {
-		if p.stamp[w] < p.stamp[victim] {
-			victim = w
+	victim, best := 0, p.stamp[0]
+	for w, s := range p.stamp[1:] {
+		if s < best {
+			victim, best = w+1, s
 		}
 	}
 	return victim

@@ -2,26 +2,43 @@ package cache
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bcache/internal/addr"
 	"bcache/internal/rng"
 )
 
-// line is one cache frame's state. Data contents are not simulated; only
-// presence, identity, and dirtiness matter to the functional model.
-type line struct {
-	valid bool
-	dirty bool
-	tag   addr.Addr
-}
-
 // SetAssoc is an N-way set-associative cache with write-allocate,
 // write-back semantics. Ways=1 gives a conventional direct-mapped cache
 // (the paper's baseline); Sets=1 gives a fully-associative cache.
+//
+// Storage is structure-of-arrays: one flat tag array plus per-set valid
+// and dirty bitmasks. The hit scan walks only the set's valid ways by
+// iterating the presence bitmask, so sparse or wide sets (the 512-way
+// fully-associative configurations in Table 4) never touch cold frames.
+// Data contents are not simulated; only presence, identity, and
+// dirtiness matter to the functional model.
 type SetAssoc struct {
-	geom     Geometry
-	kind     PolicyKind
-	lines    []line   // Sets*Ways, set-major: frame = set*Ways + way
+	geom Geometry
+	kind PolicyKind
+
+	// Precomputed address-field shifts so Access never re-derives
+	// geometry logarithms.
+	offBits uint
+	idxBits uint
+	idxMask addr.Addr // Sets - 1
+
+	// tags[set*Ways + way] is the way's tag; its bit in the set's valid
+	// mask says whether the frame holds a line at all.
+	tags []addr.Addr
+
+	// valid and dirty are per-set bitmasks, maskWords words per set, way
+	// w at bit (w%64) of word w/64. maskWords = ceil(Ways/64).
+	valid     []uint64
+	dirty     []uint64
+	maskWords int
+	tailMask  uint64 // in-range way bits of a set's last mask word
+
 	policies []Policy // one per set
 	stats    *Stats
 	probe    Probe // nil unless observability is attached
@@ -37,13 +54,25 @@ func NewSetAssoc(size, lineBytes, ways int, kind PolicyKind, src *rng.Source) (*
 	if err != nil {
 		return nil, err
 	}
+	mw := (ways + 63) / 64
+	tail := ^uint64(0)
+	if r := ways % 64; r != 0 {
+		tail = 1<<r - 1
+	}
 	c := &SetAssoc{
-		geom:     geom,
-		kind:     kind,
-		lines:    make([]line, geom.Frames),
-		policies: make([]Policy, geom.Sets),
-		stats:    NewStats(geom.Frames),
-		name:     fmt.Sprintf("%dkB-%dway-%s", size/1024, ways, kind),
+		geom:      geom,
+		kind:      kind,
+		offBits:   geom.OffsetBits(),
+		idxBits:   geom.IndexBits(),
+		idxMask:   addr.Addr(geom.Sets - 1),
+		tags:      make([]addr.Addr, geom.Frames),
+		valid:     make([]uint64, geom.Sets*mw),
+		dirty:     make([]uint64, geom.Sets*mw),
+		maskWords: mw,
+		tailMask:  tail,
+		policies:  make([]Policy, geom.Sets),
+		stats:     NewStats(geom.Frames),
+		name:      fmt.Sprintf("%dkB-%dway-%s", size/1024, ways, kind),
 	}
 	for s := range c.policies {
 		c.policies[s] = NewPolicy(kind, ways, src)
@@ -71,50 +100,77 @@ func NewFullyAssoc(size, lineBytes int, kind PolicyKind, src *rng.Source) (*SetA
 	return c, nil
 }
 
+// wordMask returns the in-range way bits of the set's wi-th mask word.
+func (c *SetAssoc) wordMask(wi int) uint64 {
+	if wi == c.maskWords-1 {
+		return c.tailMask
+	}
+	return ^uint64(0)
+}
+
+// findWay returns the way holding tag in set, or -1, scanning valid ways
+// in ascending order.
+func (c *SetAssoc) findWay(set int, tag addr.Addr) int {
+	base := set * c.geom.Ways
+	mbase := set * c.maskWords
+	for wi := 0; wi < c.maskWords; wi++ {
+		for m := c.valid[mbase+wi]; m != 0; m &= m - 1 {
+			w := wi<<6 + bits.TrailingZeros64(m)
+			if c.tags[base+w] == tag {
+				return w
+			}
+		}
+	}
+	return -1
+}
+
 // Access implements Cache.
 func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
-	set := c.geom.Index(a)
-	tag := c.geom.Tag(a)
+	set := int(a >> c.offBits & c.idxMask)
+	tag := a >> (c.offBits + c.idxBits)
 	base := set * c.geom.Ways
+	mbase := set * c.maskWords
 	pol := c.policies[set]
 
 	// Hit path.
-	for w := 0; w < c.geom.Ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			pol.Touch(w)
-			if write {
-				ln.dirty = true
-			}
-			c.stats.Record(base+w, true, write)
-			if c.probe != nil {
-				c.probe.ObserveAccess(base+w, true, write)
-			}
-			return Result{Hit: true, Frame: base + w}
+	if w := c.findWay(set, tag); w >= 0 {
+		pol.Touch(w)
+		if write {
+			c.dirty[mbase+w>>6] |= 1 << (w & 63)
 		}
+		c.stats.Record(base+w, true, write)
+		if c.probe != nil {
+			c.probe.ObserveAccess(base+w, true, write)
+		}
+		return Result{Hit: true, Frame: base + w}
 	}
 
 	// Miss: prefer an invalid way, else ask the policy for a victim.
 	way := -1
-	for w := 0; w < c.geom.Ways; w++ {
-		if !c.lines[base+w].valid {
-			way = w
+	for wi := 0; wi < c.maskWords; wi++ {
+		if free := ^c.valid[mbase+wi] & c.wordMask(wi); free != 0 {
+			way = wi<<6 + bits.TrailingZeros64(free)
 			break
 		}
 	}
 	var res Result
 	if way < 0 {
 		way = pol.Victim()
-		old := &c.lines[base+way]
 		res.Evicted = true
-		res.EvictedAddr = c.lineAddr(old.tag, set)
-		res.EvictedDirty = old.dirty
-		c.stats.RecordEviction(old.dirty)
+		res.EvictedAddr = c.lineAddr(c.tags[base+way], set)
+		res.EvictedDirty = c.dirty[mbase+way>>6]&(1<<(way&63)) != 0
+		c.stats.RecordEviction(res.EvictedDirty)
 		if c.probe != nil {
-			c.probe.ObserveEvict(old.dirty)
+			c.probe.ObserveEvict(res.EvictedDirty)
 		}
 	}
-	c.lines[base+way] = line{valid: true, dirty: write, tag: tag}
+	c.tags[base+way] = tag
+	c.valid[mbase+way>>6] |= 1 << (way & 63)
+	if write {
+		c.dirty[mbase+way>>6] |= 1 << (way & 63)
+	} else {
+		c.dirty[mbase+way>>6] &^= 1 << (way & 63)
+	}
 	pol.Touch(way)
 	res.Frame = base + way
 	c.stats.Record(base+way, false, write)
@@ -129,22 +185,12 @@ func (c *SetAssoc) SetProbe(p Probe) { c.probe = p }
 
 // Contains implements Cache.
 func (c *SetAssoc) Contains(a addr.Addr) bool {
-	set := c.geom.Index(a)
-	tag := c.geom.Tag(a)
-	base := set * c.geom.Ways
-	for w := 0; w < c.geom.Ways; w++ {
-		ln := &c.lines[base+w]
-		if ln.valid && ln.tag == tag {
-			return true
-		}
-	}
-	return false
+	return c.findWay(int(a>>c.offBits&c.idxMask), a>>(c.offBits+c.idxBits)) >= 0
 }
 
 // lineAddr reconstructs the line-aligned byte address of (tag, set).
 func (c *SetAssoc) lineAddr(tag addr.Addr, set int) addr.Addr {
-	return tag<<(c.geom.OffsetBits()+c.geom.IndexBits()) |
-		addr.Addr(set)<<c.geom.OffsetBits()
+	return tag<<(c.offBits+c.idxBits) | addr.Addr(set)<<c.offBits
 }
 
 // Stats implements Cache.
@@ -161,9 +207,9 @@ func (c *SetAssoc) Policy() PolicyKind { return c.kind }
 
 // Reset implements Cache.
 func (c *SetAssoc) Reset() {
-	for i := range c.lines {
-		c.lines[i] = line{}
-	}
+	clear(c.tags)
+	clear(c.valid)
+	clear(c.dirty)
 	for _, p := range c.policies {
 		p.Reset()
 	}

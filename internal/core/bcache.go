@@ -27,10 +27,17 @@
 //	      frames a victim can be chosen from.
 //
 // MF = 1 and BAS = 1 degenerate to a conventional direct-mapped cache.
+//
+// The hardware PD is a bit-parallel CAM: all BAS entries of a row compare
+// against the programmable index simultaneously (§3.2). BCache mirrors
+// that in software — PD entries are packed eight-per-uint64 and matched
+// with a branch-free SWAR compare — while Reference keeps the scalar
+// array-of-structs implementation as the differential-testing oracle.
 package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bcache/internal/addr"
 	"bcache/internal/cache"
@@ -85,16 +92,43 @@ func (s PDStats) HitRateDuringMiss() float64 {
 	return float64(s.MissPDHit) / float64(m)
 }
 
-// frame is one line frame plus its programmable-decoder entry.
-type frame struct {
-	pdValid bool
-	pd      addr.Addr // PI-bit programmable index value
-	valid   bool
-	dirty   bool
-	tag     addr.Addr // tag bits above the PI field
+// SWAR constants for the packed PD word: 8 lanes of 8 bits.
+const (
+	swarLanes = 8
+	// laneInvalid marks an unprogrammed (or absent, when BAS < 8) lane.
+	// Programmed PD values on the SWAR path fit in 7 bits, so a lane with
+	// bit 7 set can never equal any broadcast programmable index and the
+	// zero-byte search skips it for free.
+	laneInvalid = 0x80
+	// laneLSBs has the least-significant bit of every lane set;
+	// multiplying by it broadcasts a 7-bit value to all lanes.
+	laneLSBs = 0x0101010101010101
+	// laneMSBs has the most-significant bit of every lane set.
+	laneMSBs        = 0x8080808080808080
+	allLanesInvalid = laneInvalid * laneLSBs
+)
+
+// matchLanes returns a word whose lane MSBs mark the lanes of w equal to
+// the 7-bit value v (the classic XOR + has-zero-byte SWAR trick). Lanes
+// above a matching lane can carry false positives from borrow
+// propagation, so callers must take the lowest set lane; decoding
+// uniqueness guarantees at most one true match.
+func matchLanes(w uint64, v uint64) uint64 {
+	x := w ^ (v * laneLSBs)
+	return (x - laneLSBs) & ^x & laneMSBs
 }
 
 // BCache is the balanced cache. It implements cache.Cache.
+//
+// Storage is structure-of-arrays: the per-frame metadata lives in flat
+// parallel arrays indexed by frameIndex, and the PD entries of a row are
+// packed into a single uint64 (eight 8-bit lanes, one per cluster) so
+// lookupPD compares all BAS candidates in a handful of ALU ops — the
+// software analogue of the paper's bit-parallel PD CAM. Configurations
+// whose PD does not fit the lanes (PDBits > 7 or BAS > 8) fall back to a
+// scalar scan over the same arrays.
+//
+// A BCache instance is goroutine-confined: no internal locking.
 type BCache struct {
 	cfg  Config
 	geom cache.Geometry // ways = 1: the B-Cache is direct-mapped
@@ -103,9 +137,37 @@ type BCache struct {
 	nm   uint // log2(MF)
 	rows int  // 2^NPI where NPI = OI - nb
 
-	// frames[cluster*rows + row]; the row's candidates are the BAS frames
-	// at (c*rows + row) for c = 0..BAS-1 (paper Figure 2's clusters).
-	frames   []frame
+	// Precomputed address-field shifts and masks so the access path never
+	// re-derives geometry logarithms.
+	rowShift uint      // offset bits: low bit of the NPI field
+	rowMask  addr.Addr // 2^NPI - 1
+	piShift  uint      // low bit of the programmable index
+	piMask   addr.Addr // 2^(nb+nm) - 1
+	tagShift uint      // low bit of the stored tag remainder
+
+	// swar selects the packed-word PD lookup (PDBits ≤ 7 and BAS ≤ 8 —
+	// true for every configuration the paper evaluates, including the
+	// MF=8/BAS=8 design point with its 6-bit PD).
+	swar bool
+	// pdWords[row] packs the row's PD entries, lane cl = cluster cl
+	// (SWAR path only; unprogrammed lanes hold laneInvalid).
+	pdWords []uint64
+	// pdVals[frameIndex] holds PD values on the scalar fallback path.
+	pdVals []uint32
+
+	// Per-row bitmasks, one bit per cluster, maskWords words per row:
+	// pdValid = programmed decoder entries, valid = resident lines,
+	// dirty = lines needing writeback.
+	pdValid   []uint64
+	valid     []uint64
+	dirty     []uint64
+	maskWords int
+	// tailMask masks the clusters present in the last mask word of a row.
+	tailMask uint64
+
+	// tags[frameIndex] holds the tag bits above the PI field.
+	tags []addr.Addr
+
 	policies []cache.Policy // one per row, arbitrating the BAS clusters
 
 	stats   *cache.Stats
@@ -115,39 +177,73 @@ type BCache struct {
 
 var _ cache.Cache = (*BCache)(nil)
 
-// New validates cfg and builds the B-Cache.
-func New(cfg Config) (*BCache, error) {
-	geom, err := cache.NewGeometry(cfg.SizeBytes, cfg.LineBytes, 1)
+// validate checks cfg and derives the geometry shared by New and
+// NewReference.
+func validate(cfg Config) (geom cache.Geometry, nb, nm uint, err error) {
+	geom, err = cache.NewGeometry(cfg.SizeBytes, cfg.LineBytes, 1)
 	if err != nil {
-		return nil, err
+		return cache.Geometry{}, 0, 0, err
 	}
 	if cfg.MF < 1 || !addr.IsPow2(uint64(cfg.MF)) {
-		return nil, fmt.Errorf("core: MF %d is not a positive power of two", cfg.MF)
+		return cache.Geometry{}, 0, 0, fmt.Errorf("core: MF %d is not a positive power of two", cfg.MF)
 	}
 	if cfg.BAS < 1 || !addr.IsPow2(uint64(cfg.BAS)) {
-		return nil, fmt.Errorf("core: BAS %d is not a positive power of two", cfg.BAS)
+		return cache.Geometry{}, 0, 0, fmt.Errorf("core: BAS %d is not a positive power of two", cfg.BAS)
 	}
-	nb := addr.Log2(uint64(cfg.BAS))
-	nm := addr.Log2(uint64(cfg.MF))
+	nb = addr.Log2(uint64(cfg.BAS))
+	nm = addr.Log2(uint64(cfg.MF))
 	if nb > geom.IndexBits() {
-		return nil, fmt.Errorf("core: BAS %d exceeds %d sets", cfg.BAS, geom.Sets)
+		return cache.Geometry{}, 0, 0, fmt.Errorf("core: BAS %d exceeds %d sets", cfg.BAS, geom.Sets)
 	}
 	if nm > geom.TagBits() {
-		return nil, fmt.Errorf("core: MF %d needs %d tag bits, have %d", cfg.MF, nm, geom.TagBits())
+		return cache.Geometry{}, 0, 0, fmt.Errorf("core: MF %d needs %d tag bits, have %d", cfg.MF, nm, geom.TagBits())
+	}
+	return geom, nb, nm, nil
+}
+
+// New validates cfg and builds the B-Cache.
+func New(cfg Config) (*BCache, error) {
+	geom, nb, nm, err := validate(cfg)
+	if err != nil {
+		return nil, err
 	}
 	var src *rng.Source
 	if cfg.Policy == cache.Random {
 		src = rng.New(cfg.Seed)
 	}
 	c := &BCache{
-		cfg:   cfg,
-		geom:  geom,
-		nb:    nb,
-		nm:    nm,
-		rows:  1 << (geom.IndexBits() - nb),
-		stats: cache.NewStats(geom.Frames),
+		cfg:       cfg,
+		geom:      geom,
+		nb:        nb,
+		nm:        nm,
+		rows:      1 << (geom.IndexBits() - nb),
+		swar:      nb+nm <= 7 && cfg.BAS <= swarLanes,
+		maskWords: (cfg.BAS + 63) / 64,
+		stats:     cache.NewStats(geom.Frames),
 	}
-	c.frames = make([]frame, geom.Frames)
+	npi := geom.IndexBits() - nb
+	c.rowShift = geom.OffsetBits()
+	c.rowMask = 1<<npi - 1
+	c.piShift = c.rowShift + npi
+	c.piMask = 1<<(nb+nm) - 1
+	c.tagShift = c.rowShift + geom.IndexBits() + nm
+	if tail := cfg.BAS & 63; tail != 0 {
+		c.tailMask = 1<<uint(tail) - 1
+	} else {
+		c.tailMask = ^uint64(0)
+	}
+	if c.swar {
+		c.pdWords = make([]uint64, c.rows)
+		for i := range c.pdWords {
+			c.pdWords[i] = allLanesInvalid
+		}
+	} else {
+		c.pdVals = make([]uint32, geom.Frames)
+	}
+	c.pdValid = make([]uint64, c.rows*c.maskWords)
+	c.valid = make([]uint64, c.rows*c.maskWords)
+	c.dirty = make([]uint64, c.rows*c.maskWords)
+	c.tags = make([]addr.Addr, geom.Frames)
 	c.policies = make([]cache.Policy, c.rows)
 	for r := range c.policies {
 		c.policies[r] = cache.NewPolicy(cfg.Policy, cfg.BAS, src)
@@ -167,33 +263,93 @@ func (c *BCache) Config() Config { return c.cfg }
 
 // row extracts the non-programmable index of a.
 func (c *BCache) row(a addr.Addr) int {
-	return int(addr.Field(a, c.geom.OffsetBits(), c.geom.IndexBits()-c.nb))
+	return int(a >> c.rowShift & c.rowMask)
 }
 
 // pi extracts the programmable index of a: the top log2(BAS) original
 // index bits plus the adjacent low log2(MF) tag bits.
 func (c *BCache) pi(a addr.Addr) addr.Addr {
-	return addr.Field(a, c.geom.OffsetBits()+c.geom.IndexBits()-c.nb, c.nb+c.nm)
+	return a >> c.piShift & c.piMask
 }
 
 // tagRem extracts the tag bits not covered by the PD (the bits the tag
 // array stores — three fewer than the baseline in the paper's design).
 func (c *BCache) tagRem(a addr.Addr) addr.Addr {
-	return a >> (c.geom.OffsetBits() + c.geom.IndexBits() + c.nm)
+	return a >> c.tagShift
 }
 
 // frameIndex maps (cluster, row) to the physical frame index.
 func (c *BCache) frameIndex(cluster, row int) int { return cluster*c.rows + row }
 
-// lookupPD returns the cluster whose PD entry matches a's programmable
-// index in a's row, or -1. At most one can match (decoding uniqueness).
-func (c *BCache) lookupPD(a addr.Addr) int {
-	row := c.row(a)
-	pi := c.pi(a)
-	for cl := 0; cl < c.cfg.BAS; cl++ {
-		f := &c.frames[c.frameIndex(cl, row)]
-		if f.pdValid && f.pd == pi {
-			return cl
+// maskAt returns the bitmask word index and bit for (cluster, row).
+func (c *BCache) maskAt(cluster, row int) (int, uint64) {
+	return row*c.maskWords + cluster>>6, 1 << (uint(cluster) & 63)
+}
+
+// rowWordMask returns the bits usable in mask word k of a row (the last
+// word of a row with BAS not a multiple of 64 is partially populated).
+func (c *BCache) rowWordMask(k int) uint64 {
+	if k == c.maskWords-1 {
+		return c.tailMask
+	}
+	return ^uint64(0)
+}
+
+// pdValue returns the PD entry of (cluster, row); only meaningful when
+// the entry is programmed.
+func (c *BCache) pdValue(cluster, row int) addr.Addr {
+	if c.swar {
+		return addr.Addr(c.pdWords[row] >> (uint(cluster) * 8) & 0x7F)
+	}
+	return addr.Addr(c.pdVals[c.frameIndex(cluster, row)])
+}
+
+// setPD programs the PD entry of (cluster, row) with pi.
+func (c *BCache) setPD(cluster, row int, pi addr.Addr) {
+	if c.swar {
+		sh := uint(cluster) * 8
+		c.pdWords[row] = c.pdWords[row]&^(0xFF<<sh) | uint64(pi)<<sh
+	} else {
+		c.pdVals[c.frameIndex(cluster, row)] = uint32(pi)
+	}
+	w, bit := c.maskAt(cluster, row)
+	c.pdValid[w] |= bit
+}
+
+// lookupPD returns the cluster whose PD entry matches pi in row, or -1.
+// At most one can match (decoding uniqueness).
+func (c *BCache) lookupPD(row int, pi addr.Addr) int {
+	if c.swar {
+		// Branch-free compare of all eight lanes at once. False-positive
+		// lanes can only sit above the true zero lane, so the lowest set
+		// lane is the match.
+		m := matchLanes(c.pdWords[row], uint64(pi))
+		if m == 0 {
+			return -1
+		}
+		return bits.TrailingZeros64(m) >> 3
+	}
+	// Scalar fallback: visit only the programmed clusters, walking the
+	// valid bitmask word by word.
+	base := row * c.maskWords
+	for k := 0; k < c.maskWords; k++ {
+		for w := c.pdValid[base+k]; w != 0; w &= w - 1 {
+			cl := k<<6 + bits.TrailingZeros64(w)
+			if addr.Addr(c.pdVals[c.frameIndex(cl, row)]) == pi {
+				return cl
+			}
+		}
+	}
+	return -1
+}
+
+// firstUnprogrammed returns the lowest cluster of row without a PD entry,
+// or -1 when all BAS entries are programmed.
+func (c *BCache) firstUnprogrammed(row int) int {
+	base := row * c.maskWords
+	for k := 0; k < c.maskWords; k++ {
+		if free := ^c.pdValid[base+k] & c.rowWordMask(k); free != 0 {
+			return k<<6 + bits.TrailingZeros64(free)
 		}
 	}
 	return -1
@@ -206,14 +362,14 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 	tag := c.tagRem(a)
 	pol := c.policies[row]
 
-	if cl := c.lookupPD(a); cl >= 0 {
+	if cl := c.lookupPD(row, pi); cl >= 0 {
 		fi := c.frameIndex(cl, row)
-		f := &c.frames[fi]
-		if f.valid && f.tag == tag {
+		w, bit := c.maskAt(cl, row)
+		if c.valid[w]&bit != 0 && c.tags[fi] == tag {
 			// Cache hit: single activated word line, one cycle.
 			pol.Touch(cl)
 			if write {
-				f.dirty = true
+				c.dirty[w] |= bit
 			}
 			c.pdStats.HitPD++
 			c.stats.Record(fi, true, write)
@@ -229,7 +385,7 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 		// victim — replacing any other frame would require evicting this
 		// one too (paper §2.3). The replacement policy cannot help here.
 		c.pdStats.MissPDHit++
-		res := c.refill(fi, frame{pdValid: true, pd: pi, valid: true, dirty: write, tag: tag}, row, cl)
+		res := c.refill(cl, row, pi, tag, write)
 		c.stats.Record(fi, false, write)
 		if c.probe != nil {
 			c.probe.ObservePD(true)
@@ -242,19 +398,13 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 	// The victim comes from any of the row's BAS clusters; its PD entry
 	// is reprogrammed with a's programmable index.
 	c.pdStats.MissPDMiss++
-	cl := -1
-	for k := 0; k < c.cfg.BAS; k++ { // cold start: program invalid entries first
-		if !c.frames[c.frameIndex(k, row)].pdValid {
-			cl = k
-			break
-		}
-	}
+	cl := c.firstUnprogrammed(row) // cold start: program invalid entries first
 	if cl < 0 {
 		cl = pol.Victim()
 	}
 	fi := c.frameIndex(cl, row)
 	c.pdStats.Programmed++
-	res := c.refill(fi, frame{pdValid: true, pd: pi, valid: true, dirty: write, tag: tag}, row, cl)
+	res := c.refill(cl, row, pi, tag, write)
 	c.stats.Record(fi, false, write)
 	if c.probe != nil {
 		c.probe.ObservePD(false)
@@ -264,41 +414,49 @@ func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
 	return res
 }
 
-// refill replaces frames[fi] with nf, reporting any eviction, and touches
-// the replacement state.
-func (c *BCache) refill(fi int, nf frame, row, cluster int) cache.Result {
-	old := c.frames[fi]
+// refill installs (pi, tag) into (cluster, row), reporting any eviction,
+// and touches the replacement state.
+func (c *BCache) refill(cluster, row int, pi, tag addr.Addr, write bool) cache.Result {
+	fi := c.frameIndex(cluster, row)
+	w, bit := c.maskAt(cluster, row)
 	res := cache.Result{Frame: fi}
-	if old.valid {
+	if c.valid[w]&bit != 0 {
+		dirty := c.dirty[w]&bit != 0
 		res.Evicted = true
-		res.EvictedAddr = c.frameLineAddr(old, row)
-		res.EvictedDirty = old.dirty
-		c.stats.RecordEviction(old.dirty)
+		res.EvictedAddr = c.lineAddr(cluster, row)
+		res.EvictedDirty = dirty
+		c.stats.RecordEviction(dirty)
 		if c.probe != nil {
-			c.probe.ObserveEvict(old.dirty)
+			c.probe.ObserveEvict(dirty)
 		}
 	}
-	c.frames[fi] = nf
+	c.setPD(cluster, row, pi)
+	c.tags[fi] = tag
+	c.valid[w] |= bit
+	if write {
+		c.dirty[w] |= bit
+	} else {
+		c.dirty[w] &^= bit
+	}
 	c.policies[row].Touch(cluster)
 	return res
 }
 
-// frameLineAddr reconstructs the line-aligned address cached in f, which
-// lives in the given row.
-func (c *BCache) frameLineAddr(f frame, row int) addr.Addr {
-	off := c.geom.OffsetBits()
-	npi := c.geom.IndexBits() - c.nb
-	return f.tag<<(off+npi+c.nb+c.nm) | f.pd<<(off+npi) | addr.Addr(row)<<off
+// lineAddr reconstructs the line-aligned address cached in (cluster, row).
+func (c *BCache) lineAddr(cluster, row int) addr.Addr {
+	fi := c.frameIndex(cluster, row)
+	return c.tags[fi]<<c.tagShift | c.pdValue(cluster, row)<<c.piShift | addr.Addr(row)<<c.rowShift
 }
 
 // Contains implements cache.Cache.
 func (c *BCache) Contains(a addr.Addr) bool {
-	cl := c.lookupPD(a)
+	row := c.row(a)
+	cl := c.lookupPD(row, c.pi(a))
 	if cl < 0 {
 		return false
 	}
-	f := &c.frames[c.frameIndex(cl, c.row(a))]
-	return f.valid && f.tag == c.tagRem(a)
+	w, bit := c.maskAt(cl, row)
+	return c.valid[w]&bit != 0 && c.tags[c.frameIndex(cl, row)] == c.tagRem(a)
 }
 
 // Stats implements cache.Cache.
@@ -321,8 +479,19 @@ func (c *BCache) Name() string {
 
 // Reset implements cache.Cache.
 func (c *BCache) Reset() {
-	for i := range c.frames {
-		c.frames[i] = frame{}
+	for i := range c.pdWords {
+		c.pdWords[i] = allLanesInvalid
+	}
+	for i := range c.pdVals {
+		c.pdVals[i] = 0
+	}
+	for i := range c.pdValid {
+		c.pdValid[i] = 0
+		c.valid[i] = 0
+		c.dirty[i] = 0
+	}
+	for i := range c.tags {
+		c.tags[i] = 0
 	}
 	for _, p := range c.policies {
 		p.Reset()
@@ -338,25 +507,35 @@ func (c *BCache) Reset() {
 //     distinct, so at most one word line can activate per access.
 //  2. A valid line implies a valid (programmed) PD entry.
 //  3. PD values fit in PDBits().
+//  4. The packed representation is self-consistent: on the SWAR path a
+//     lane reads laneInvalid exactly when its pdValid bit is clear.
 func (c *BCache) CheckInvariants() error {
 	maxPD := addr.Addr(1)<<(c.nb+c.nm) - 1
 	for row := 0; row < c.rows; row++ {
 		seen := make(map[addr.Addr]int, c.cfg.BAS)
 		for cl := 0; cl < c.cfg.BAS; cl++ {
-			f := &c.frames[c.frameIndex(cl, row)]
-			if f.valid && !f.pdValid {
+			w, bit := c.maskAt(cl, row)
+			programmed := c.pdValid[w]&bit != 0
+			if c.valid[w]&bit != 0 && !programmed {
 				return fmt.Errorf("core: row %d cluster %d: valid line with unprogrammed PD", row, cl)
 			}
-			if !f.pdValid {
+			if c.swar {
+				lane := c.pdWords[row] >> (uint(cl) * 8) & 0xFF
+				if programmed == (lane == laneInvalid) {
+					return fmt.Errorf("core: row %d cluster %d: PD lane %#x disagrees with valid bit %v", row, cl, lane, programmed)
+				}
+			}
+			if !programmed {
 				continue
 			}
-			if f.pd > maxPD {
-				return fmt.Errorf("core: row %d cluster %d: PD value %#x exceeds %d bits", row, cl, f.pd, c.nb+c.nm)
+			pd := c.pdValue(cl, row)
+			if pd > maxPD {
+				return fmt.Errorf("core: row %d cluster %d: PD value %#x exceeds %d bits", row, cl, pd, c.nb+c.nm)
 			}
-			if prev, dup := seen[f.pd]; dup {
-				return fmt.Errorf("core: row %d: clusters %d and %d share PD value %#x (decoding not unique)", row, prev, cl, f.pd)
+			if prev, dup := seen[pd]; dup {
+				return fmt.Errorf("core: row %d: clusters %d and %d share PD value %#x (decoding not unique)", row, prev, cl, pd)
 			}
-			seen[f.pd] = cl
+			seen[pd] = cl
 		}
 	}
 	return nil

@@ -431,6 +431,26 @@ func BenchmarkBCacheAccess(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		c.Access(addrs[i&4095], false)
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+}
+
+// BenchmarkReferenceAccess is the scalar oracle on the same stream, so
+// the SWAR kernel's speedup is visible in one benchstat run.
+func BenchmarkReferenceAccess(b *testing.B) {
+	c, err := NewReference(Config{SizeBytes: 16384, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := rng.New(5)
+	addrs := make([]addr.Addr, 4096)
+	for i := range addrs {
+		addrs[i] = addr.Addr(src.Intn(1 << 20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&4095], false)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
 }
 
 // TestFullTagPDEqualsSetAssociative is the §6.7 limit theorem: when the
@@ -506,9 +526,8 @@ func TestCheckInvariantsDetectsViolations(t *testing.T) {
 	t.Run("duplicate-pd", func(t *testing.T) {
 		c := mk()
 		c.Access(0, false)
-		// Copy frame 0's PD value into another cluster of row 0.
-		f0 := c.frames[c.frameIndex(0, 0)]
-		c.frames[c.frameIndex(1, 0)] = frame{pdValid: true, pd: f0.pd}
+		// Copy cluster 0's PD value into another cluster of row 0.
+		c.setPD(1, 0, c.pdValue(0, 0))
 		if err := c.CheckInvariants(); err == nil {
 			t.Fatal("duplicate PD value not detected")
 		}
@@ -516,7 +535,8 @@ func TestCheckInvariantsDetectsViolations(t *testing.T) {
 
 	t.Run("valid-line-unprogrammed-pd", func(t *testing.T) {
 		c := mk()
-		c.frames[0] = frame{valid: true, tag: 1}
+		c.valid[0] |= 1 // cluster 0 of row 0, with no PD entry programmed
+		c.tags[0] = 1
 		if err := c.CheckInvariants(); err == nil {
 			t.Fatal("valid line with invalid PD not detected")
 		}
@@ -524,9 +544,20 @@ func TestCheckInvariantsDetectsViolations(t *testing.T) {
 
 	t.Run("oversized-pd", func(t *testing.T) {
 		c := mk()
-		c.frames[0] = frame{pdValid: true, pd: 1 << 10}
+		c.setPD(0, 0, 0x7F) // MF=4/BAS=4 has a 4-bit PD: max value 0xF
 		if err := c.CheckInvariants(); err == nil {
 			t.Fatal("oversized PD value not detected")
+		}
+	})
+
+	t.Run("lane-bitmask-disagreement", func(t *testing.T) {
+		c := mk()
+		if !c.swar {
+			t.Skip("packed-lane consistency only applies to the SWAR path")
+		}
+		c.pdValid[0] |= 1 // bit set but lane left at laneInvalid
+		if err := c.CheckInvariants(); err == nil {
+			t.Fatal("PD lane / bitmask disagreement not detected")
 		}
 	})
 

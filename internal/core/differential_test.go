@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+// diffTrace builds a deterministic access stream that mixes hot rows,
+// conflict ping-pong, and uniform noise so every PD path (hit, PD-hit
+// miss, PD-miss with cold clusters, PD-miss with policy victim) fires.
+type diffAcc struct {
+	a     addr.Addr
+	write bool
+}
+
+func diffTrace(seed uint64, n int) []diffAcc {
+	src := rng.New(seed)
+	hot := make([]addr.Addr, 32)
+	for i := range hot {
+		hot[i] = addr.Addr(src.Uint32()) & addr.Max
+	}
+	out := make([]diffAcc, n)
+	for i := range out {
+		var a addr.Addr
+		switch src.Intn(4) {
+		case 0: // uniform noise across the space
+			a = addr.Addr(src.Uint32()) & addr.Max
+		case 1: // reuse a hot line exactly
+			a = hot[src.Intn(len(hot))]
+		default: // conflict neighborhood of a hot line (same row, new tag)
+			a = hot[src.Intn(len(hot))] + addr.Addr(src.Intn(64))<<17
+		}
+		out[i] = diffAcc{a: a & addr.Max, write: src.Intn(4) == 0}
+	}
+	return out
+}
+
+// TestDifferentialSWARvsReference replays deterministic random traces
+// through the optimized BCache and the scalar Reference oracle and
+// demands bit-identical behaviour: every Result, the running Stats and
+// PDStats, Contains answers, and CheckInvariants on both, across the
+// MF × BAS × policy grid. MF=512 and BAS=16 rows exercise the non-SWAR
+// fallback (PDBits > 7 or BAS > lanes).
+func TestDifferentialSWARvsReference(t *testing.T) {
+	const (
+		accesses   = 20000
+		checkEvery = 2048
+	)
+	mfs := []int{1, 2, 4, 8, 16, 512}
+	bases := []int{1, 2, 4, 8, 16}
+	for _, mf := range mfs {
+		for _, bas := range bases {
+			for _, pol := range []cache.PolicyKind{cache.LRU, cache.Random} {
+				cfg := Config{
+					SizeBytes: 16 * 1024,
+					LineBytes: 32,
+					MF:        mf,
+					BAS:       bas,
+					Policy:    pol,
+					Seed:      0xB00C,
+				}
+				name := fmt.Sprintf("mf%d-bas%d-%s", mf, bas, pol)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					opt, err := New(cfg)
+					if err != nil {
+						t.Fatalf("New: %v", err)
+					}
+					ref, err := NewReference(cfg)
+					if err != nil {
+						t.Fatalf("NewReference: %v", err)
+					}
+					if wantSWAR := opt.PDBits() <= 7 && bas <= swarLanes; opt.swar != wantSWAR {
+						t.Fatalf("swar = %v, want %v (PDBits=%d BAS=%d)", opt.swar, wantSWAR, opt.PDBits(), bas)
+					}
+					trace := diffTrace(uint64(mf)<<16|uint64(bas)<<4|uint64(pol), accesses)
+					for i, acc := range trace {
+						ro := opt.Access(acc.a, acc.write)
+						rr := ref.Access(acc.a, acc.write)
+						if ro != rr {
+							t.Fatalf("access %d (%#x write=%v): Result %+v != reference %+v", i, acc.a, acc.write, ro, rr)
+						}
+						if (i+1)%checkEvery == 0 {
+							compareState(t, i, opt, ref)
+							if !opt.Contains(acc.a) {
+								t.Fatalf("access %d: %#x not contained right after refill", i, acc.a)
+							}
+						}
+					}
+					compareState(t, accesses-1, opt, ref)
+
+					// Contains must agree for both seen and unseen lines.
+					probe := diffTrace(0xC0117A135, 512)
+					for _, acc := range probe {
+						if co, cr := opt.Contains(acc.a), ref.Contains(acc.a); co != cr {
+							t.Fatalf("Contains(%#x) = %v, reference %v", acc.a, co, cr)
+						}
+					}
+
+					// Reset must bring both back to an identical cold state.
+					opt.Reset()
+					ref.Reset()
+					for i, acc := range trace[:checkEvery] {
+						ro := opt.Access(acc.a, acc.write)
+						rr := ref.Access(acc.a, acc.write)
+						if ro != rr {
+							t.Fatalf("post-Reset access %d: Result %+v != reference %+v", i, ro, rr)
+						}
+					}
+					compareState(t, checkEvery-1, opt, ref)
+				})
+			}
+		}
+	}
+}
+
+// compareState asserts identical Stats and PDStats and passing
+// invariants on both implementations after access i.
+func compareState(t *testing.T, i int, opt *BCache, ref *Reference) {
+	t.Helper()
+	if err := opt.CheckInvariants(); err != nil {
+		t.Fatalf("after access %d: BCache invariants: %v", i, err)
+	}
+	if err := ref.CheckInvariants(); err != nil {
+		t.Fatalf("after access %d: Reference invariants: %v", i, err)
+	}
+	if got, want := opt.PDStats(), ref.PDStats(); got != want {
+		t.Fatalf("after access %d: PDStats %+v != reference %+v", i, got, want)
+	}
+	if got, want := opt.Stats(), ref.Stats(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("after access %d: Stats %v != reference %v", i, got, want)
+	}
+}

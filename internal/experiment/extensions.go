@@ -88,7 +88,7 @@ func runXRelated(opts Opts) ([]*Table, error) {
 	}
 
 	for _, p := range all {
-		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		at, err := cachedTrace(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -157,7 +157,7 @@ func runXVIPT(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		at, err := cachedTrace(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -231,7 +231,7 @@ func runXRecolor(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		at, err := cachedTrace(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -293,7 +293,7 @@ func runXDrowsy(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		at, err := cachedTrace(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -349,7 +349,7 @@ func runX3C(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		at, err := cachedTrace(opts, p)
 		if err != nil {
 			return nil, err
 		}

@@ -31,7 +31,7 @@ func runFig3(opts Opts) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	at, err := materialize(p, opts.Instructions, opts.LineBytes)
+	at, err := cachedTrace(opts, p)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,296 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"bcache/internal/workload"
+)
+
+// TestTraceCacheSingleflight: concurrent requests for the same stream
+// build it exactly once and all receive the same immutable trace.
+func TestTraceCacheSingleflight(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	opts := tinyOpts()
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 8
+	traces := make([]*accessTrace, callers)
+	var wg sync.WaitGroup
+	wg.Add(callers)
+	for i := 0; i < callers; i++ {
+		go func(i int) {
+			defer wg.Done()
+			at, err := cachedTrace(opts, p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = at
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if traces[i] != traces[0] {
+			t.Fatalf("caller %d got a distinct trace instance", i)
+		}
+	}
+	c := TraceCacheStats()
+	if c.Misses != 1 || c.Hits != callers-1 {
+		t.Fatalf("counters = %+v, want 1 miss and %d hits", c, callers-1)
+	}
+	if c.Bytes != traces[0].sizeBytes() {
+		t.Fatalf("accounted %d bytes, trace holds %d", c.Bytes, traces[0].sizeBytes())
+	}
+}
+
+// TestTraceCacheKeying: a shifted seed or different instruction count is
+// a different stream; a repeat request is not.
+func TestTraceCacheKeying(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	opts := tinyOpts()
+	p, err := workload.ByName("equake")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := cachedTrace(opts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a2, _ := cachedTrace(opts, p); a2 != a1 {
+		t.Fatal("identical request rebuilt the trace")
+	}
+	if as, _ := cachedTrace(opts, withSeed(p, 1)); as == a1 {
+		t.Fatal("shifted seed shared the canonical trace")
+	}
+	shorter := opts
+	shorter.Instructions /= 2
+	if an, _ := cachedTrace(shorter, p); an == a1 {
+		t.Fatal("different instruction count shared the trace")
+	}
+	c := TraceCacheStats()
+	if c.Misses != 3 || c.Hits != 1 {
+		t.Fatalf("counters = %+v, want 3 misses and 1 hit", c)
+	}
+}
+
+// TestTraceCacheEviction: a budget below two traces keeps only the most
+// recent stream and the accounting follows.
+func TestTraceCacheEviction(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	opts := tinyOpts()
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := cachedTrace(opts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.TraceBytes = a1.sizeBytes() + a1.sizeBytes()/2 // room for ~1.5 traces
+	if _, err := cachedTrace(opts, withSeed(p, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c := TraceCacheStats()
+	if c.Evictions == 0 {
+		t.Fatalf("no eviction under tight budget: %+v", c)
+	}
+	if c.Bytes > opts.TraceBytes {
+		t.Fatalf("cache holds %d bytes over budget %d", c.Bytes, opts.TraceBytes)
+	}
+	// The canonical trace was the LRU victim; re-requesting it is a miss.
+	before := c.Misses
+	if _, err := cachedTrace(opts, p); err != nil {
+		t.Fatal(err)
+	}
+	if got := TraceCacheStats().Misses; got != before+1 {
+		t.Fatalf("evicted trace served from cache (misses %d, want %d)", got, before+1)
+	}
+}
+
+// TestTraceCacheBypass: a negative budget disables memoization entirely.
+func TestTraceCacheBypass(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	opts := tinyOpts()
+	opts.TraceBytes = -1
+	p, err := workload.ByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := cachedTrace(opts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := cachedTrace(opts, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 == a2 {
+		t.Fatal("bypass mode returned a shared instance")
+	}
+	if c := TraceCacheStats(); c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("bypass mode touched the shared cache: %+v", c)
+	}
+}
+
+// TestSuiteZeroDuplicateGeneration: repeating the full miss-rate fan-out
+// never regenerates a stream — misses equal the number of distinct
+// (profile, seed) keys regardless of specs, sides, or repetition.
+func TestSuiteZeroDuplicateGeneration(t *testing.T) {
+	ResetTraceCache()
+	defer ResetTraceCache()
+	opts := tinyOpts()
+	opts.Seeds = 2
+	profiles := workload.All()
+	for round := 0; round < 2; round++ {
+		for _, s := range []side{dSide, iSide} {
+			if _, err := missRates(opts, profiles, figureSpecs(), s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := TraceCacheStats()
+	want := uint64(len(profiles) * opts.Seeds)
+	if c.Misses != want {
+		t.Fatalf("generated %d streams, want %d (duplicate generation)", c.Misses, want)
+	}
+	if c.Hits == 0 {
+		t.Fatal("cache recorded no hits across repeated suite runs")
+	}
+}
+
+// TestTimedMemoShared: fig8 and fig9 request the identical timed sweep;
+// the second request must reuse the first's simulations.
+func TestTimedMemoShared(t *testing.T) {
+	ResetTimedCache()
+	defer ResetTimedCache()
+	opts := tinyOpts()
+	opts.Instructions = 40_000
+	r1, err := timedResults(opts, timedSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := timedResults(opts, timedSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(r1).Pointer() != reflect.ValueOf(r2).Pointer() {
+		t.Fatal("identical timed sweep was recomputed")
+	}
+	bigger := opts
+	bigger.Instructions *= 2
+	r3, err := timedResults(bigger, timedSpecs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.ValueOf(r3).Pointer() == reflect.ValueOf(r1).Pointer() {
+		t.Fatal("different opts shared a memo entry")
+	}
+}
+
+// TestRunUnitsCoversAll: every index is executed exactly once.
+func TestRunUnitsCoversAll(t *testing.T) {
+	const n = 1000
+	var seen [n]atomic.Int32
+	if err := runUnits(n, 8, func(i int) error {
+		seen[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range seen {
+		if got := seen[i].Load(); got != 1 {
+			t.Fatalf("unit %d ran %d times", i, got)
+		}
+	}
+}
+
+// TestRunUnitsCancelOnFirstError: after a failure no new units are
+// claimed, and the failure is reported.
+func TestRunUnitsCancelOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := runUnits(1000, 1, func(i int) error {
+		ran.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want %v", err, boom)
+	}
+	if got := ran.Load(); got != 4 {
+		t.Fatalf("ran %d units after error at unit 3, want 4", got)
+	}
+}
+
+// TestRunUnitsJoinsConcurrentErrors: two workers failing together are
+// both reported instead of one being dropped.
+func TestRunUnitsJoinsConcurrentErrors(t *testing.T) {
+	var gate sync.WaitGroup
+	gate.Add(2)
+	err := runUnits(2, 2, func(i int) error {
+		gate.Done()
+		gate.Wait() // both workers fail simultaneously
+		return fmt.Errorf("unit %d failed", i)
+	})
+	if err == nil {
+		t.Fatal("no error returned")
+	}
+	for i := 0; i < 2; i++ {
+		want := fmt.Sprintf("unit %d failed", i)
+		found := false
+		for _, e := range multiUnwrap(err) {
+			if e.Error() == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("joined error %q lost %q", err, want)
+		}
+	}
+}
+
+// multiUnwrap flattens an errors.Join result (or a single error).
+func multiUnwrap(err error) []error {
+	if m, ok := err.(interface{ Unwrap() []error }); ok {
+		return m.Unwrap()
+	}
+	return []error{err}
+}
+
+// TestForEachProfileWrapsName: errors carry the failing profile's name.
+func TestForEachProfileWrapsName(t *testing.T) {
+	profiles := workload.All()
+	boom := errors.New("boom")
+	err := forEachProfile(profiles, 2, func(p *workload.Profile) error {
+		if p.Name == profiles[0].Name {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error = %v, want wrapped %v", err, boom)
+	}
+	want := profiles[0].Name + ": boom"
+	found := false
+	for _, e := range multiUnwrap(err) {
+		if e.Error() == want {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("error %q does not name the failing profile (%q)", err, want)
+	}
+}

@@ -3,7 +3,6 @@ package experiment
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"bcache/internal/addr"
 	"bcache/internal/altcache"
@@ -32,6 +31,9 @@ type Opts struct {
 	// averages the results (noise control for small instruction counts).
 	// Zero or one means a single run with the canonical seed.
 	Seeds int
+	// TraceBytes bounds the shared materialized-trace cache: 0 uses the
+	// default budget, negative disables memoization.
+	TraceBytes int64
 }
 
 // DefaultOpts returns the scale used for EXPERIMENTS.md.
@@ -235,85 +237,90 @@ func replay(at *accessTrace, c cache.Cache, s side) {
 	}
 }
 
-// missRun is the result of one (benchmark, spec) miss-rate run.
+// missRun is the result of one (benchmark, spec) miss-rate run,
+// aggregated over seeds as raw event counts.
 type missRun struct {
 	missRate float64
 	misses   uint64
 	accesses uint64
-	// pdHitDuringMiss is the PD hit rate during misses (B-Cache only).
+	// pdHit/pdMiss are the PD lookup outcomes during cache misses,
+	// summed across seeds (B-Cache only).
+	pdHit  uint64
+	pdMiss uint64
+	// pdHitDuringMiss is pdHit/(pdHit+pdMiss): the PD hit rate during
+	// misses, computed once from the summed counters so seeds with
+	// unequal miss counts carry their true weight.
 	pdHitDuringMiss float64
 }
 
 // missRates runs all profiles × (baseline + specs) on one cache side and
 // returns results[profile][specName] plus the baseline under "baseline".
+// The grain scheduled on the worker pool is a single (profile, seed,
+// spec) replay, so runs with fewer benchmarks than cores still saturate
+// the machine; traces are shared through the memoizing cache.
 func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (map[string]map[string]missRun, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	all := append([]Spec{baselineSpec()}, specs...)
+	seeds := opts.seeds()
+
+	// One slot per work unit, written only by its owner; reduced below.
+	type unitOut struct {
+		misses, accesses uint64
+		pdHit, pdMiss    uint64
+	}
+	perSeed := seeds * len(all)
+	units := make([]unitOut, len(profiles)*perSeed)
+	err := runUnits(len(units), opts.workers(), func(i int) error {
+		p := profiles[i/perSeed]
+		k := i % perSeed / len(all)
+		spec := all[i%len(all)]
+		at, err := cachedTrace(opts, withSeed(p, k))
+		if err != nil {
+			return fmt.Errorf("%s: %w", p.Name, err)
+		}
+		c, err := spec.New(opts.L1Size, opts.LineBytes)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
+		}
+		replay(at, c, s)
+		st := c.Stats()
+		u := unitOut{misses: st.Misses, accesses: st.Accesses}
+		if bc, ok := c.(*core.BCache); ok {
+			pd := bc.PDStats()
+			u.pdHit, u.pdMiss = pd.MissPDHit, pd.MissPDMiss
+		}
+		units[i] = u
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
 
 	results := make(map[string]map[string]missRun, len(profiles))
-	var mu sync.Mutex
-	err := forEachProfile(profiles, opts.workers(), func(p *workload.Profile) error {
+	for pi, p := range profiles {
 		row := make(map[string]missRun, len(all))
-		for k := 0; k < opts.seeds(); k++ {
-			at, err := materialize(withSeed(p, k), opts.Instructions, opts.LineBytes)
-			if err != nil {
-				return err
+		for si, spec := range all {
+			var r missRun
+			for k := 0; k < seeds; k++ {
+				u := units[pi*perSeed+k*len(all)+si]
+				r.misses += u.misses
+				r.accesses += u.accesses
+				r.pdHit += u.pdHit
+				r.pdMiss += u.pdMiss
 			}
-			for _, spec := range all {
-				c, err := spec.New(opts.L1Size, opts.LineBytes)
-				if err != nil {
-					return fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
-				}
-				replay(at, c, s)
-				st := c.Stats()
-				r := row[spec.Name]
-				r.misses += st.Misses
-				r.accesses += st.Accesses
-				if bc, ok := c.(*core.BCache); ok {
-					r.pdHitDuringMiss += bc.PDStats().HitRateDuringMiss() / float64(opts.seeds())
-				}
-				row[spec.Name] = r
-			}
-		}
-		for name, r := range row {
 			if r.accesses > 0 {
 				r.missRate = float64(r.misses) / float64(r.accesses)
 			}
-			row[name] = r
-		}
-		mu.Lock()
-		results[p.Name] = row
-		mu.Unlock()
-		return nil
-	})
-	return results, err
-}
-
-// forEachProfile runs fn over profiles with bounded parallelism,
-// returning the first error.
-func forEachProfile(profiles []*workload.Profile, workers int, fn func(*workload.Profile) error) error {
-	if workers < 1 {
-		workers = 1
-	}
-	sem := make(chan struct{}, workers)
-	errc := make(chan error, len(profiles))
-	var wg sync.WaitGroup
-	for _, p := range profiles {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(p *workload.Profile) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := fn(p); err != nil {
-				errc <- fmt.Errorf("%s: %w", p.Name, err)
+			if pd := r.pdHit + r.pdMiss; pd > 0 {
+				r.pdHitDuringMiss = float64(r.pdHit) / float64(pd)
 			}
-		}(p)
+			row[spec.Name] = r
+		}
+		results[p.Name] = row
 	}
-	wg.Wait()
-	close(errc)
-	return <-errc
+	return results, nil
 }
 
 // reduction converts a (baseline, config) miss pair into the paper's

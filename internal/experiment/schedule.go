@@ -1,0 +1,72 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"bcache/internal/workload"
+)
+
+// runUnits executes fn(i) for every i in [0, n) on up to workers
+// goroutines pulling from a shared atomic counter. Work units should be
+// the finest independent grain available — (profile × spec × seed) rather
+// than whole profiles — so a run with fewer benchmarks than cores still
+// saturates the machine.
+//
+// On the first error, workers stop claiming new units (in-flight units
+// finish); every error collected before shutdown is returned via
+// errors.Join, so concurrent failures are not silently dropped.
+func runUnits(n, workers int, fn func(int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		errs   []error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := fn(i); err != nil {
+					failed.Store(true)
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// forEachProfile runs fn over profiles with bounded parallelism,
+// cancelling outstanding profiles on the first error. Experiments whose
+// work does not decompose further use this; the miss-rate and timed
+// paths schedule finer units directly via runUnits.
+func forEachProfile(profiles []*workload.Profile, workers int, fn func(*workload.Profile) error) error {
+	return runUnits(len(profiles), workers, func(i int) error {
+		if err := fn(profiles[i]); err != nil {
+			return fmt.Errorf("%s: %w", profiles[i].Name, err)
+		}
+		return nil
+	})
+}

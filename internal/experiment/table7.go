@@ -40,7 +40,7 @@ func runTable7(opts Opts) ([]*Table, error) {
 	}
 	rows := make([]rowPair, len(all))
 	err := forEachProfile(all, opts.workers(), func(p *workload.Profile) error {
-		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		at, err := cachedTrace(opts, p)
 		if err != nil {
 			return err
 		}

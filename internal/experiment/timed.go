@@ -102,29 +102,91 @@ func runTimed(p *workload.Profile, spec Spec, opts Opts) (timedRun, error) {
 	return timedRun{cpu: res, counts: c, kind: spec.Kind}, nil
 }
 
-// timedResults runs all profiles × (baseline + specs).
+// timedMemo shares timed-simulation results between experiments: fig8
+// and fig9 request the identical (opts, specs) sweep and only differ in
+// how they reduce it, so the second caller reuses the first's runs.
+// Entries are built once under a singleflight channel, like the trace
+// cache; the result maps are treated as immutable by all callers.
+var timedMemo = struct {
+	sync.Mutex
+	m map[timedKey]*timedEntry
+}{m: map[timedKey]*timedEntry{}}
+
+type timedKey struct {
+	opts  Opts
+	specs string
+}
+
+type timedEntry struct {
+	ready chan struct{}
+	out   map[string]map[string]timedRun
+	err   error
+}
+
+// ResetTimedCache drops memoized timed-simulation results (test hook).
+func ResetTimedCache() {
+	timedMemo.Lock()
+	defer timedMemo.Unlock()
+	timedMemo.m = map[timedKey]*timedEntry{}
+}
+
+// timedResults runs all profiles × (baseline + specs), scheduling each
+// (profile, spec) simulation as its own work unit. Results are memoized
+// per (opts, spec set).
 func timedResults(opts Opts, specs []Spec) (map[string]map[string]timedRun, error) {
+	key := timedKey{opts: opts}
+	for _, s := range specs {
+		key.specs += s.Name + "\x00"
+	}
+	timedMemo.Lock()
+	if e, ok := timedMemo.m[key]; ok {
+		timedMemo.Unlock()
+		<-e.ready
+		return e.out, e.err
+	}
+	e := &timedEntry{ready: make(chan struct{})}
+	timedMemo.m[key] = e
+	timedMemo.Unlock()
+
+	e.out, e.err = runTimedResults(opts, specs)
+	close(e.ready)
+	if e.err != nil {
+		// Failures are not cached; a later call may retry.
+		timedMemo.Lock()
+		delete(timedMemo.m, key)
+		timedMemo.Unlock()
+	}
+	return e.out, e.err
+}
+
+func runTimedResults(opts Opts, specs []Spec) (map[string]map[string]timedRun, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	all := append([]Spec{baselineSpec()}, specs...)
-	out := make(map[string]map[string]timedRun)
-	var mu sync.Mutex
-	err := forEachProfile(workload.All(), opts.workers(), func(p *workload.Profile) error {
-		row := make(map[string]timedRun, len(all))
-		for _, spec := range all {
-			r, err := runTimed(p, spec, opts)
-			if err != nil {
-				return fmt.Errorf("%s: %w", spec.Name, err)
-			}
-			row[spec.Name] = r
+	profiles := workload.All()
+	runs := make([]timedRun, len(profiles)*len(all))
+	err := runUnits(len(runs), opts.workers(), func(i int) error {
+		p, spec := profiles[i/len(all)], all[i%len(all)]
+		r, err := runTimed(p, spec, opts)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
 		}
-		mu.Lock()
-		out[p.Name] = row
-		mu.Unlock()
+		runs[i] = r
 		return nil
 	})
-	return out, err
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]map[string]timedRun, len(profiles))
+	for pi, p := range profiles {
+		row := make(map[string]timedRun, len(all))
+		for si, spec := range all {
+			row[spec.Name] = runs[pi*len(all)+si]
+		}
+		out[p.Name] = row
+	}
+	return out, nil
 }
 
 func runFig8(opts Opts) ([]*Table, error) {

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"sync"
+
+	"bcache/internal/workload"
+)
+
+// The miss-rate experiments replay the same few address streams against
+// many cache configurations, and several experiments share benchmarks, so
+// regenerating a stream per call site wastes most of the suite's time.
+// traceCache memoizes materialize content-addressed by everything the
+// generated stream depends on: (profile name, seed, instructions, line
+// bytes). Entries are built once under a singleflight channel — duplicate
+// requesters block on the first builder — and evicted least-recently-used
+// when the byte budget is exceeded. Evicted traces stay usable by anyone
+// already holding the pointer; accessTrace is immutable after build.
+
+// defaultTraceBytes bounds the shared cache when Opts does not say
+// otherwise. A DefaultOpts trace is ~15 MB, so this holds every stream of
+// the full suite with room to spare while capping worst-case growth.
+const defaultTraceBytes = 768 << 20
+
+// traceKey identifies one materialized stream.
+type traceKey struct {
+	name         string
+	seed         uint64
+	instructions uint64
+	lineBytes    int
+}
+
+// traceEntry is one cache slot. ready is closed when at/err are set.
+type traceEntry struct {
+	ready   chan struct{}
+	at      *accessTrace
+	err     error
+	size    int64
+	lastUse uint64
+}
+
+// TraceCacheCounters reports shared trace-cache effectiveness.
+type TraceCacheCounters struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Bytes     int64
+}
+
+type traceCache struct {
+	mu      sync.Mutex
+	entries map[traceKey]*traceEntry
+	used    int64
+	ticks   uint64
+	c       TraceCacheCounters
+}
+
+// sharedTraces is the process-wide cache; all experiments go through it.
+var sharedTraces = &traceCache{entries: map[traceKey]*traceEntry{}}
+
+// ResetTraceCache drops all memoized traces and counters (test hook).
+func ResetTraceCache() {
+	tc := sharedTraces
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	tc.entries = map[traceKey]*traceEntry{}
+	tc.used = 0
+	tc.ticks = 0
+	tc.c = TraceCacheCounters{}
+}
+
+// TraceCacheStats returns a snapshot of the shared cache counters.
+func TraceCacheStats() TraceCacheCounters {
+	tc := sharedTraces
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	c := tc.c
+	c.Bytes = tc.used
+	return c
+}
+
+// sizeBytes estimates the heap footprint of the trace's two streams.
+func (at *accessTrace) sizeBytes() int64 {
+	const memAccBytes = 16 // addr.Addr + bool, padded
+	return int64(len(at.data))*memAccBytes + int64(len(at.fetch))*8
+}
+
+// get returns the materialized stream for (p, n, lineBytes), building it
+// at most once per key. budget <= 0 bypasses the cache entirely.
+func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget int64) (*accessTrace, error) {
+	if budget <= 0 {
+		return materialize(p, n, lineBytes)
+	}
+	key := traceKey{name: p.Name, seed: p.Seed, instructions: n, lineBytes: lineBytes}
+
+	tc.mu.Lock()
+	if e, ok := tc.entries[key]; ok {
+		tc.ticks++
+		e.lastUse = tc.ticks
+		tc.c.Hits++
+		tc.mu.Unlock()
+		<-e.ready
+		return e.at, e.err
+	}
+	e := &traceEntry{ready: make(chan struct{})}
+	tc.ticks++
+	e.lastUse = tc.ticks
+	tc.entries[key] = e
+	tc.c.Misses++
+	tc.mu.Unlock()
+
+	at, err := materialize(p, n, lineBytes)
+	e.at, e.err = at, err
+	close(e.ready)
+
+	tc.mu.Lock()
+	if err != nil {
+		// Failures are not cached; a later call may retry.
+		delete(tc.entries, key)
+	} else {
+		e.size = at.sizeBytes()
+		tc.used += e.size
+		tc.evictLocked(key, budget)
+	}
+	tc.mu.Unlock()
+	return at, err
+}
+
+// evictLocked drops least-recently-used completed entries (never keep,
+// never ones still building) until used fits budget. The entry count is
+// small — one per (benchmark, seed) — so a linear minimum scan is fine.
+func (tc *traceCache) evictLocked(keep traceKey, budget int64) {
+	for tc.used > budget {
+		var victim traceKey
+		var oldest uint64
+		found := false
+		for k, e := range tc.entries {
+			if k == keep {
+				continue
+			}
+			select {
+			case <-e.ready:
+			default:
+				continue // still building; owner will account for it
+			}
+			if !found || e.lastUse < oldest {
+				victim, oldest, found = k, e.lastUse, true
+			}
+		}
+		if !found {
+			return
+		}
+		tc.used -= tc.entries[victim].size
+		delete(tc.entries, victim)
+		tc.c.Evictions++
+	}
+}
+
+// traceBudget resolves the Opts knob: 0 means the default budget,
+// negative disables memoization.
+func (o Opts) traceBudget() int64 {
+	if o.TraceBytes == 0 {
+		return defaultTraceBytes
+	}
+	if o.TraceBytes < 0 {
+		return 0
+	}
+	return o.TraceBytes
+}
+
+// cachedTrace is the call-site helper: every miss-rate experiment obtains
+// its streams here instead of calling materialize directly.
+func cachedTrace(opts Opts, p *workload.Profile) (*accessTrace, error) {
+	return sharedTraces.get(p, opts.Instructions, opts.LineBytes, opts.traceBudget())
+}

@@ -136,7 +136,7 @@ func checkFig3Cliff(opts Opts) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	at, err := materialize(p, opts.Instructions, opts.LineBytes)
+	at, err := cachedTrace(opts, p)
 	if err != nil {
 		return "", false, err
 	}
@@ -340,7 +340,7 @@ func check3C(opts Opts) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	at, err := materialize(p, opts.Instructions, opts.LineBytes)
+	at, err := cachedTrace(opts, p)
 	if err != nil {
 		return "", false, err
 	}
