@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci bench bench-obs bench-perf bench-perf-json clean
+.PHONY: all build test race race-robust vet fmt-check ci bench bench-obs bench-perf bench-perf-json clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -19,6 +19,12 @@ race:
 vet:
 	$(GO) vet ./...
 
+# race-robust is the focused race gate for the crash-safety layer: the
+# unit scheduler, checkpoint, and fault injector do real concurrent
+# mutation, so they get their own fast gate ahead of the full race run.
+race-robust:
+	$(GO) test -race ./internal/experiment/... ./internal/fault/...
+
 # fmt-check fails (and lists the offenders) if any file is not gofmt-clean.
 fmt-check:
 	@out="$$(gofmt -l .)"; \
@@ -26,10 +32,11 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the full local gate: formatting, vet, build, and the race-enabled
-# test suite (probes attached under -race is an explicit acceptance
-# criterion of the observability layer).
-ci: fmt-check vet build race
+# ci is the full local gate: formatting, vet, build, the focused
+# robustness race gate, and the race-enabled test suite (probes attached
+# under -race is an explicit acceptance criterion of the observability
+# layer).
+ci: fmt-check vet build race-robust race
 
 # bench runs the probe-overhead benchmarks (see internal/obs/alloc_test.go
 # for how to read the two levels).

@@ -23,16 +23,20 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"bcache/internal/altcache"
 	"bcache/internal/cache"
 	"bcache/internal/core"
 	"bcache/internal/cpu"
+	"bcache/internal/fault"
 	"bcache/internal/hier"
 	"bcache/internal/obs"
 	"bcache/internal/rng"
@@ -61,6 +65,11 @@ func main() {
 		interval   = flag.Uint64("interval", 8192, "report time-series sampling interval in accesses")
 		cpuProf    = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 		memProf    = flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
+
+		faultRate    = flag.Float64("fault-rate", 0, "per-access soft-error injection probability (miss-rate mode only)")
+		faultProtect = flag.String("fault-protect", "none", "fault protection model: none | parity | secded")
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault injector RNG seed")
+		scrubEvery   = flag.Uint64("scrub-every", 4096, "PD scrub interval in accesses (0 = never)")
 	)
 	flag.Parse()
 
@@ -85,11 +94,29 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// First SIGINT/SIGTERM ends the input stream early: the summary and
+	// (if requested) the report still cover everything simulated so far,
+	// and the process exits 130. A second signal aborts immediately.
+	var stop atomic.Bool
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nbcachesim: %v — stopping after the current access, writing partial results (signal again to abort)\n", s)
+		stop.Store(true)
+		<-sigc
+		fmt.Fprintln(os.Stderr, "bcachesim: second signal, aborting")
+		os.Exit(130)
+	}()
+
 	if err := run(runCfg{
 		bench: *benchName, tracePath: *tracePath, profile: *profile,
 		kind: *kind, size: *size, line: *line, mf: *mf, bas: *bas,
 		policy: *policy, entries: *entries, n: *n, side: *side, ipc: *ipc,
 		reportPath: *reportPath, interval: *interval,
+		faultRate: *faultRate, faultProtect: *faultProtect,
+		faultSeed: *faultSeed, scrubEvery: *scrubEvery,
+		stop: &stop,
 	}); err != nil {
 		fail(err)
 	}
@@ -105,6 +132,10 @@ func main() {
 			fail(err)
 		}
 	}
+	if stop.Load() {
+		pprof.StopCPUProfile() // the deferred stop never runs past os.Exit
+		os.Exit(130)
+	}
 }
 
 // runCfg carries the parsed flags into the testable simulation driver.
@@ -119,6 +150,31 @@ type runCfg struct {
 	ipc                       bool
 	reportPath                string
 	interval                  uint64
+	faultRate                 float64
+	faultProtect              string
+	faultSeed                 uint64
+	scrubEvery                uint64
+	// stop, when set and flipped true (by the signal handler), ends the
+	// input stream at the next record.
+	stop *atomic.Bool
+}
+
+// interrupted reports whether the signal handler requested a stop.
+func (cfg runCfg) interrupted() bool { return cfg.stop != nil && cfg.stop.Load() }
+
+// stopStream wraps a trace so a stop request ends it cleanly: the
+// simulation loop drains as if the trace ran out, and every summary or
+// report path downstream covers exactly the accesses already simulated.
+type stopStream struct {
+	inner trace.Stream
+	stop  *atomic.Bool
+}
+
+func (s stopStream) Next() (trace.Record, bool) {
+	if s.stop.Load() {
+		return trace.Record{}, false
+	}
+	return s.inner.Next()
 }
 
 // run executes one simulation, prints the human-readable summary, and
@@ -132,14 +188,37 @@ func run(cfg runCfg) error {
 	if err != nil {
 		return err
 	}
+	if cfg.stop != nil {
+		stream = stopStream{inner: stream, stop: cfg.stop}
+	}
 
 	if cfg.ipc {
+		if cfg.faultRate > 0 {
+			return fmt.Errorf("-fault-rate is supported in miss-rate mode only, not with -ipc")
+		}
 		return runIPC(cfg, build, stream)
 	}
 
 	c, err := build()
 	if err != nil {
 		return err
+	}
+	var inj *fault.Injector
+	if cfg.faultRate > 0 {
+		prot, err := fault.ParseProtection(cfg.faultProtect)
+		if err != nil {
+			return err
+		}
+		inj, err = fault.Wrap(c, fault.Config{
+			Rate:       cfg.faultRate,
+			Protection: prot,
+			Seed:       cfg.faultSeed,
+			ScrubEvery: cfg.scrubEvery,
+		})
+		if err != nil {
+			return err
+		}
+		c = inj // replay through the injector; summaries use inj.Unwrap()
 	}
 	var sampler *obs.IntervalSampler
 	if cfg.reportPath != "" {
@@ -175,16 +254,61 @@ func run(cfg runCfg) error {
 	}
 	wall := time.Since(start)
 
+	// Summaries and the report describe the underlying cache; the
+	// injector is only the access path.
+	base := c
+	var ft *obs.FaultTotals
+	if inj != nil {
+		base = inj.Unwrap()
+		invErr := inj.FinalScrub()
+		counts := inj.Counts()
+		scrub, passes := inj.ScrubTotals()
+		prot, _ := fault.ParseProtection(cfg.faultProtect)
+		ft = &obs.FaultTotals{
+			Rate:         cfg.faultRate,
+			Protection:   prot.String(),
+			Seed:         cfg.faultSeed,
+			Injected:     counts.Injected,
+			Silent:       counts.Silent,
+			Detected:     counts.Detected,
+			Corrected:    counts.Corrected,
+			ScrubPasses:  passes,
+			ScrubRepairs: uint64(scrub.Repaired),
+			Degraded:     inj.Degraded(),
+		}
+		inv := "ok"
+		if invErr != nil {
+			ft.Invariant = invErr.Error()
+			if inj.Degraded() {
+				inv = "degraded to direct-mapped"
+			} else {
+				inv = "VIOLATED: " + invErr.Error()
+			}
+		} else if inj.Degraded() {
+			inv = "degraded to direct-mapped"
+		}
+		fmt.Printf("faults      : %d injected (%d silent, %d detected, %d corrected) at rate %g, protect=%s\n",
+			counts.Injected, counts.Silent, counts.Detected, counts.Corrected, cfg.faultRate, ft.Protection)
+		fmt.Printf("scrub       : %d passes, %d repairs, %d lines invalidated\n",
+			passes, scrub.Repaired, scrub.LinesInvalidated)
+		fmt.Printf("invariant   : %s\n", inv)
+	}
+
 	fmt.Printf("config      : %s (%s-side)\n", c.Name(), cfg.side)
 	fmt.Printf("instructions: %d\n", count)
 	fmt.Printf("stats       : %v\n", c.Stats())
-	printPD(c, "PD")
+	printPD(base, "PD")
 	printThroughput(wall, c.Stats().Accesses, count)
+	if cfg.interrupted() {
+		fmt.Printf("interrupted : yes (partial results, %d of %d instructions)\n", count, cfg.n)
+	}
 
 	if cfg.reportPath != "" {
-		r := obs.NewReport(c)
+		r := obs.NewReport(base)
 		r.Config.Benchmark = benchLabel(cfg)
 		r.Config.Side = cfg.side
+		r.Config.Interrupted = cfg.interrupted()
+		r.Fault = ft
 		r.AttachSampler(sampler)
 		r.SetThroughput(wall, count)
 		if err := r.WriteFile(cfg.reportPath); err != nil {
@@ -237,11 +361,15 @@ func runIPC(cfg runCfg, build func() (cache.Cache, error), stream trace.Stream) 
 	printPD(ic, "I$")
 	printPD(dc, "D$")
 	printThroughput(wall, ic.Stats().Accesses+dc.Stats().Accesses, res.Instructions)
+	if cfg.interrupted() {
+		fmt.Printf("interrupted : yes (partial results, %d of %d instructions)\n", res.Instructions, cfg.n)
+	}
 
 	if cfg.reportPath != "" {
 		r := obs.NewReport(dc)
 		r.Config.Benchmark = benchLabel(cfg)
 		r.Config.Side = "d"
+		r.Config.Interrupted = cfg.interrupted()
 		r.AttachSampler(sampler)
 		r.SetThroughput(wall, res.Instructions)
 		if err := r.WriteFile(cfg.reportPath); err != nil {

@@ -9,16 +9,25 @@
 // schema-versioned document holding every table plus per-experiment
 // wall-clock times (see experiment.Document); -cpuprofile and
 // -memprofile write pprof profiles of the run.
+//
+// Long campaigns are crash-safe: -checkpoint records every completed
+// work unit atomically, -resume restores them bit-identically, and the
+// first SIGINT/SIGTERM drains in-flight units, renders partial tables,
+// saves the checkpoint, and exits 130 (a second signal aborts).
+// -unit-timeout and -unit-retries bound individual work units.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"bcache/internal/experiment"
@@ -37,6 +46,11 @@ func main() {
 		seeds   = flag.Int("seeds", 0, "replicate miss-rate runs over N workload seeds and average")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		ckptPath    = flag.String("checkpoint", "", "record completed work units to this JSON file (atomic rewrite)")
+		resume      = flag.Bool("resume", false, "load -checkpoint first and skip units already recorded (bit-identical)")
+		unitTimeout = flag.Duration("unit-timeout", 0, "abandon a single work unit running longer than this (0 = no deadline)")
+		unitRetries = flag.Int("unit-retries", 0, "retries for timed-out or transient work units")
 	)
 	flag.Parse()
 
@@ -67,6 +81,45 @@ func main() {
 	if *seeds > 0 {
 		opts.Seeds = *seeds
 	}
+	opts.UnitTimeout = *unitTimeout
+	opts.UnitRetries = *unitRetries
+
+	if *resume && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "-resume requires -checkpoint")
+		os.Exit(2)
+	}
+	var ckpt *experiment.Checkpoint
+	if *ckptPath != "" {
+		var err error
+		if *resume {
+			ckpt, err = experiment.LoadCheckpoint(*ckptPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if n := ckpt.Len(); n > 0 {
+				fmt.Fprintf(os.Stderr, "resuming: %d completed units restored from %s\n", n, *ckptPath)
+			}
+		} else {
+			ckpt = experiment.NewCheckpoint(*ckptPath)
+		}
+		ckpt.SetAutosave(64)
+		opts.Checkpoint = ckpt
+	}
+
+	// First SIGINT/SIGTERM stops claiming new work units; in-flight units
+	// finish, partial tables render, and the checkpoint is saved. A second
+	// signal aborts immediately.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigc
+		fmt.Fprintf(os.Stderr, "\nexperiments: %v — finishing in-flight units and writing partial output (signal again to abort)\n", s)
+		experiment.RequestStop()
+		<-sigc
+		fmt.Fprintln(os.Stderr, "experiments: second signal, aborting")
+		os.Exit(130)
+	}()
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -135,20 +188,27 @@ func main() {
 	}
 
 	var results []experiment.Result
+	var runErr error
 	for _, e := range exps {
 		start := time.Now()
 		tables, err := e.Run(opts)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
-		}
 		elapsed := time.Since(start)
+		if err != nil {
+			// A failed or interrupted experiment may still return partial
+			// tables; render them before stopping.
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			runErr = err
+		}
 		switch *format {
 		case "text":
 			for _, t := range tables {
 				fmt.Fprintln(out, t.Render())
 			}
-			fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+			if err == nil {
+				fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+			} else {
+				fmt.Fprintf(out, "[%s INCOMPLETE after %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
+			}
 		case "csv":
 			for _, t := range tables {
 				if err := t.WriteCSV(out); err != nil {
@@ -163,6 +223,9 @@ func main() {
 			}
 			results = append(results, r)
 		}
+		if err != nil {
+			break
+		}
 	}
 
 	if *format == "json" {
@@ -170,5 +233,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if ckpt != nil {
+		if err := ckpt.Save(); err != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint save: %v\n", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else if runErr != nil {
+			fmt.Fprintf(os.Stderr, "checkpoint saved: %d units in %s (continue with -resume)\n",
+				ckpt.Len(), *ckptPath)
+		}
+	}
+	if runErr != nil {
+		if errors.Is(runErr, experiment.ErrInterrupted) {
+			os.Exit(130)
+		}
+		os.Exit(1)
 	}
 }

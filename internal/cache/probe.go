@@ -19,6 +19,9 @@ package cache
 //	ObserveEvict     every cache model, when a valid line is displaced
 //	ObserveWriteback internal/hier.Hierarchy, when a dirty L1 victim is
 //	                 actually written into the L2
+//	ObserveFault     internal/fault.Injector, once per injected soft
+//	                 error, with the protection model's classification
+//	ObserveScrub     internal/fault.Injector, once per PD scrub pass
 //
 // A probe attached to a single cache sees a consistent single-goroutine
 // event stream; probes are not required to be safe for concurrent use.
@@ -49,6 +52,77 @@ type Probe interface {
 	// next memory level (emitted by the hierarchy, not by the cache that
 	// evicted the line — attach one probe to both to correlate).
 	ObserveWriteback()
+
+	// ObserveFault records one injected soft error: the state array it
+	// landed in and the protection model's verdict on it.
+	ObserveFault(d FaultDomain, c FaultClass)
+
+	// ObserveScrub records one programmable-decoder scrub pass: how many
+	// PD entries it had to repair and whether the cache gave up and
+	// degraded to plain direct-mapped indexing.
+	ObserveScrub(repaired int, degraded bool)
+}
+
+// FaultDomain classifies the state array a soft error landed in. The
+// enum lives here (rather than in internal/fault) because cache.Probe
+// speaks it and fault targets implement per-domain state accessors.
+type FaultDomain uint8
+
+const (
+	// FaultTag is a bit of a stored tag.
+	FaultTag FaultDomain = iota
+	// FaultValid is a line presence bit.
+	FaultValid
+	// FaultDirty is a line writeback-owed bit.
+	FaultDirty
+	// FaultPD is a bit of a programmable-decoder CAM entry (B-Cache
+	// only; includes the lane-invalid encoding bits on the SWAR path).
+	FaultPD
+	// NumFaultDomains bounds the enum for array-indexed counters.
+	NumFaultDomains
+)
+
+// String names the domain for logs and tables.
+func (d FaultDomain) String() string {
+	switch d {
+	case FaultTag:
+		return "tag"
+	case FaultValid:
+		return "valid"
+	case FaultDirty:
+		return "dirty"
+	case FaultPD:
+		return "pd"
+	}
+	return "unknown"
+}
+
+// FaultClass is a protection model's verdict on one injected soft error.
+type FaultClass uint8
+
+const (
+	// FaultSilent means the flip landed undetected: state is corrupted
+	// and only a later scrub or a wrong lookup will reveal it.
+	FaultSilent FaultClass = iota
+	// FaultDetected means the code caught the error (e.g. parity); the
+	// affected site is conservatively invalidated, costing a refill.
+	FaultDetected
+	// FaultCorrected means the code repaired the error in place (e.g.
+	// SEC-DED); state is unchanged.
+	FaultCorrected
+)
+
+// String names the classification for logs and tables.
+func (c FaultClass) String() string {
+	switch c {
+	case FaultSilent:
+		return "silent"
+	case FaultDetected:
+		return "detected"
+	case FaultCorrected:
+		return "corrected"
+	}
+	return "unknown"
 }
 
 // Probed is implemented by models that support attaching a Probe.

@@ -95,6 +95,8 @@ func (s PDStats) HitRateDuringMiss() float64 {
 // SWAR constants for the packed PD word: 8 lanes of 8 bits.
 const (
 	swarLanes = 8
+	// laneBits is the width of one packed PD lane.
+	laneBits = 8
 	// laneInvalid marks an unprogrammed (or absent, when BAS < 8) lane.
 	// Programmed PD values on the SWAR path fit in 7 bits, so a lane with
 	// bit 7 set can never equal any broadcast programmable index and the
@@ -173,6 +175,15 @@ type BCache struct {
 	stats   *cache.Stats
 	pdStats PDStats
 	probe   cache.Probe // nil unless observability is attached
+
+	// degraded marks the direct-mapped fallback mode the scrubber enters
+	// when PD repair is impossible (see scrub.go); the PD is then ignored
+	// and decoding uses the conventional index bits.
+	degraded bool
+	// scrubLimit and scrubRepairs arm graceful degradation: once
+	// cumulative repairs reach the (positive) limit, ScrubPD degrades.
+	scrubLimit   int
+	scrubRepairs int
 }
 
 var _ cache.Cache = (*BCache)(nil)
@@ -357,6 +368,9 @@ func (c *BCache) firstUnprogrammed(row int) int {
 
 // Access implements cache.Cache.
 func (c *BCache) Access(a addr.Addr, write bool) cache.Result {
+	if c.degraded {
+		return c.accessDegraded(a, write)
+	}
 	row := c.row(a)
 	pi := c.pi(a)
 	tag := c.tagRem(a)
@@ -450,6 +464,12 @@ func (c *BCache) lineAddr(cluster, row int) addr.Addr {
 
 // Contains implements cache.Cache.
 func (c *BCache) Contains(a addr.Addr) bool {
+	if c.degraded {
+		row := c.row(a)
+		cl := int(c.pi(a)) & (c.cfg.BAS - 1)
+		w, bit := c.maskAt(cl, row)
+		return c.valid[w]&bit != 0 && c.tags[c.frameIndex(cl, row)] == a>>(c.piShift+c.nb)
+	}
 	row := c.row(a)
 	cl := c.lookupPD(row, c.pi(a))
 	if cl < 0 {
@@ -498,6 +518,8 @@ func (c *BCache) Reset() {
 	}
 	c.stats.Reset()
 	c.pdStats = PDStats{}
+	c.degraded = false
+	c.scrubRepairs = 0
 }
 
 // CheckInvariants verifies the structural properties the design depends
@@ -510,6 +532,12 @@ func (c *BCache) Reset() {
 //  4. The packed representation is self-consistent: on the SWAR path a
 //     lane reads laneInvalid exactly when its pdValid bit is clear.
 func (c *BCache) CheckInvariants() error {
+	if c.degraded {
+		// Direct-mapped fallback: the PD is cleared and ignored, and
+		// resident lines intentionally have no PD entries, so none of
+		// the decoder invariants apply.
+		return nil
+	}
 	maxPD := addr.Addr(1)<<(c.nb+c.nm) - 1
 	for row := 0; row < c.rows; row++ {
 		seen := make(map[addr.Addr]int, c.cfg.BAS)

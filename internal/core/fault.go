@@ -1,0 +1,122 @@
+package core
+
+import (
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+)
+
+// Fault-injection state accessors: BCache exposes its metadata arrays —
+// including the programmable-decoder CAM, the state the design is
+// uniquely exposed through — as flat, stably-numbered bit spaces for
+// internal/fault. The numbering is part of the fault log contract.
+//
+// Site numbering:
+//
+//	FaultTag:   bit = frame*tagBits + b          (b < tagBits)
+//	FaultValid: bit = cluster*rows + row          (one bit per frame)
+//	FaultDirty: bit = cluster*rows + row
+//	FaultPD:    SWAR   — bit = row*(BAS*8) + b    (raw packed lanes, so
+//	            lane-invalid encoding bits are injectable: a flip can
+//	            create a matchable ghost entry or kill a live one; the
+//	            padding lanes above BAS model no hardware and are not
+//	            injectable)
+//	            scalar — bit = frame*PDBits + b
+
+// faultTagBits returns the stored tag width in bits.
+func (c *BCache) faultTagBits() uint64 {
+	return uint64(addr.Bits) - uint64(c.tagShift)
+}
+
+// StateBits reports the number of injectable state bits in domain d.
+func (c *BCache) StateBits(d cache.FaultDomain) uint64 {
+	switch d {
+	case cache.FaultTag:
+		return uint64(c.geom.Frames) * c.faultTagBits()
+	case cache.FaultValid, cache.FaultDirty:
+		return uint64(c.geom.Frames)
+	case cache.FaultPD:
+		if c.swar {
+			return uint64(c.rows) * uint64(c.cfg.BAS) * laneBits
+		}
+		return uint64(c.geom.Frames) * uint64(c.PDBits())
+	}
+	return 0
+}
+
+// frameSite decomposes a Valid/Dirty site number into (cluster, row).
+func (c *BCache) frameSite(bit uint64) (cluster, row int) {
+	return int(bit) / c.rows, int(bit) % c.rows
+}
+
+// FlipStateBit flips bit `bit` of domain d (a silent soft error).
+func (c *BCache) FlipStateBit(d cache.FaultDomain, bit uint64) {
+	switch d {
+	case cache.FaultTag:
+		tb := c.faultTagBits()
+		c.tags[bit/tb] ^= 1 << (bit % tb)
+	case cache.FaultValid:
+		cl, row := c.frameSite(bit)
+		w, b := c.maskAt(cl, row)
+		c.valid[w] ^= b
+	case cache.FaultDirty:
+		cl, row := c.frameSite(bit)
+		w, b := c.maskAt(cl, row)
+		c.dirty[w] ^= b
+	case cache.FaultPD:
+		if c.swar {
+			lb := uint64(c.cfg.BAS) * laneBits
+			c.pdWords[bit/lb] ^= 1 << (bit % lb)
+		} else {
+			pb := uint64(c.PDBits())
+			c.pdVals[bit/pb] ^= 1 << (bit % pb)
+		}
+	}
+}
+
+// InvalidateSite conservatively repairs the site owning bit `bit` of
+// domain d after a detected error: the line is dropped, and a PD-domain
+// hit additionally unprograms the decoder entry so it can never fire a
+// corrupt match.
+func (c *BCache) InvalidateSite(d cache.FaultDomain, bit uint64) {
+	var cluster, row int
+	unprogram := false
+	switch d {
+	case cache.FaultTag:
+		fi := int(bit / c.faultTagBits())
+		cluster, row = fi/c.rows, fi%c.rows
+	case cache.FaultValid, cache.FaultDirty:
+		cluster, row = c.frameSite(bit)
+	case cache.FaultPD:
+		if c.swar {
+			lb := uint64(c.cfg.BAS) * laneBits
+			row = int(bit / lb)
+			cluster = int(bit%lb) / laneBits
+		} else {
+			fi := int(bit / uint64(c.PDBits()))
+			cluster, row = fi/c.rows, fi%c.rows
+		}
+		unprogram = true
+	default:
+		return
+	}
+	w, b := c.maskAt(cluster, row)
+	c.valid[w] &^= b
+	c.dirty[w] &^= b
+	if unprogram {
+		c.unprogramPD(cluster, row)
+	}
+}
+
+// unprogramPD clears the PD entry of (cluster, row): the lane returns to
+// the invalid encoding (SWAR) and the pdValid bit drops, so the entry
+// can neither match nor count as programmed.
+func (c *BCache) unprogramPD(cluster, row int) {
+	if c.swar {
+		sh := uint(cluster) * 8
+		c.pdWords[row] = c.pdWords[row]&^(0xFF<<sh) | laneInvalid<<sh
+	} else {
+		c.pdVals[c.frameIndex(cluster, row)] = 0
+	}
+	w, b := c.maskAt(cluster, row)
+	c.pdValid[w] &^= b
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/rng"
+)
+
+// scrubConfigs are the geometries the scrub tests exercise: the paper's
+// design point (SWAR), a narrow-BAS SWAR layout with padding lanes, and
+// a wide configuration on the scalar fallback path.
+var scrubConfigs = []Config{
+	{SizeBytes: 16 << 10, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU},
+	{SizeBytes: 4 << 10, LineBytes: 32, MF: 2, BAS: 4, Policy: cache.LRU},
+	{SizeBytes: 16 << 10, LineBytes: 32, MF: 16, BAS: 16, Policy: cache.LRU},
+}
+
+// warm drives n deterministic accesses through c.
+func warm(c *BCache, seed uint64, n int) {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		c.Access(addr.Addr(r.Uint64())&0xFFFFF, r.Uint64()&1 == 0)
+	}
+}
+
+// TestScrubCleanIsNoop: a healthy cache scrubs to an empty report.
+func TestScrubCleanIsNoop(t *testing.T) {
+	for _, cfg := range scrubConfigs {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm(c, 1, 20000)
+		rep := c.ScrubPD()
+		if rep.Faulty() || rep.Repaired != 0 || rep.Degraded {
+			t.Errorf("%s: clean cache scrubbed to %+v", c.Name(), rep)
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", c.Name(), err)
+		}
+	}
+}
+
+// TestScrubRepairsDuplicate: forcing two clusters of a row onto the same
+// PD value violates decoding uniqueness; one pass must repair it and
+// keep an entry backing a valid line.
+func TestScrubRepairsDuplicate(t *testing.T) {
+	for _, cfg := range scrubConfigs {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm(c, 2, 20000)
+
+		// Copy cluster 0's PD value into cluster 1 of row 0.
+		row := 0
+		if w, bit := c.maskAt(0, row); c.pdValid[w]&bit == 0 {
+			t.Fatalf("%s: row 0 cluster 0 unprogrammed after warmup", c.Name())
+		}
+		c.setPD(1, row, c.pdValue(0, row))
+		if err := c.CheckInvariants(); err == nil {
+			t.Fatalf("%s: duplicate not detected by invariant check", c.Name())
+		}
+
+		rep := c.ScrubPD()
+		if rep.Duplicates == 0 {
+			t.Errorf("%s: scrub missed the duplicate: %+v", c.Name(), rep)
+		}
+		if rep.Degraded {
+			t.Errorf("%s: one duplicate should not degrade", c.Name())
+		}
+		if err := c.CheckInvariants(); err != nil {
+			t.Errorf("%s: invariant still broken after scrub: %v", c.Name(), err)
+		}
+		if rep := c.ScrubPD(); rep.Faulty() {
+			t.Errorf("%s: second pass still found faults: %+v", c.Name(), rep)
+		}
+	}
+}
+
+// TestScrubRepairsGhostAndDead: on the SWAR path, flipping raw lane bits
+// can fabricate a matchable entry nothing programmed (ghost) or kill a
+// programmed one (dead). The scrubber must classify and repair both.
+func TestScrubRepairsGhostAndDead(t *testing.T) {
+	cfg := Config{SizeBytes: 4 << 10, LineBytes: 32, MF: 2, BAS: 4, Policy: cache.LRU}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.swar {
+		t.Fatal("config expected to use the SWAR path")
+	}
+	warm(c, 3, 20000)
+
+	// Ghost: clear bit 7 of an unprogrammed lane. Unprogram cluster 2 of
+	// row 1 first so the lane is laneInvalid, then flip its MSB.
+	c.unprogramPD(2, 1)
+	c.invalidateLine(2, 1)
+	lb := uint64(cfg.BAS) * laneBits
+	c.FlipStateBit(cache.FaultPD, 1*lb+2*laneBits+7)
+	// Dead: set bit 7 of a programmed lane (cluster 0 of row 0).
+	if w, bit := c.maskAt(0, 0); c.pdValid[w]&bit == 0 {
+		t.Fatal("row 0 cluster 0 unprogrammed after warmup")
+	}
+	c.FlipStateBit(cache.FaultPD, 0*lb+0*laneBits+7)
+
+	rep := c.ScrubPD()
+	if rep.Ghosts != 1 || rep.Dead != 1 {
+		t.Errorf("scrub report %+v, want 1 ghost and 1 dead", rep)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("invariant after scrub: %v", err)
+	}
+}
+
+// TestScrubDegradeLimit: past the cumulative repair limit the cache must
+// fall back to direct-mapped mode, stay correct, and Reset must restore
+// the healthy mode.
+func TestScrubDegradeLimit(t *testing.T) {
+	cfg := Config{SizeBytes: 4 << 10, LineBytes: 32, MF: 2, BAS: 4, Policy: cache.LRU}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetScrubDegradeLimit(1)
+	warm(c, 4, 20000)
+	c.setPD(1, 0, c.pdValue(0, 0)) // one duplicate = one repair = at the limit
+
+	rep := c.ScrubPD()
+	if !rep.Degraded || !c.Degraded() {
+		t.Fatalf("repair limit 1 with 1 repair should degrade: %+v", rep)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatalf("degraded invariants: %v", err)
+	}
+	warm(c, 5, 20000) // degraded path must serve accesses without panics
+	if got := c.ScrubPD(); !got.Degraded || got.Repaired != 0 {
+		t.Errorf("degraded scrub should be a marker no-op, got %+v", got)
+	}
+
+	c.Reset()
+	if c.Degraded() || c.ScrubRepairsTotal() != 0 {
+		t.Error("Reset should restore the healthy mode")
+	}
+	warm(c, 6, 1000)
+	if err := c.CheckInvariants(); err != nil {
+		t.Errorf("post-reset invariants: %v", err)
+	}
+}
+
+// TestDegradedMatchesDirectMapped: the fallback decode (NPI row bits plus
+// the low log2(BAS) PI bits) spans exactly the conventional index, so a
+// degraded B-Cache must produce the same hit/miss sequence as a plain
+// direct-mapped cache of the same size.
+func TestDegradedMatchesDirectMapped(t *testing.T) {
+	for _, cfg := range scrubConfigs {
+		bc, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc.DegradeToDirectMapped()
+		dm, err := cache.NewDirectMapped(cfg.SizeBytes, cfg.LineBytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(7)
+		for i := 0; i < 200000; i++ {
+			a := addr.Addr(r.Uint64()) & 0x3FFFFF
+			write := r.Uint64()&3 == 0
+			got := bc.Access(a, write)
+			want := dm.Access(a, write)
+			if got.Hit != want.Hit {
+				t.Fatalf("%s degraded: access %d addr %#x hit=%v, direct-mapped hit=%v",
+					bc.Name(), i, a, got.Hit, want.Hit)
+			}
+			if got.Evicted != want.Evicted || (got.Evicted && got.EvictedAddr != want.EvictedAddr) {
+				t.Fatalf("%s degraded: access %d addr %#x eviction (%v,%#x) vs (%v,%#x)",
+					bc.Name(), i, a, got.Evicted, got.EvictedAddr, want.Evicted, want.EvictedAddr)
+			}
+		}
+		if bc.Stats().Misses != dm.Stats().Misses {
+			t.Errorf("%s degraded: %d misses, direct-mapped %d",
+				bc.Name(), bc.Stats().Misses, dm.Stats().Misses)
+		}
+	}
+}
+
+// FuzzPDScrub throws arbitrary bit flips at every metadata domain of a
+// warmed cache and demands the robustness contract: after one scrub pass
+// the invariant holds or the cache has explicitly degraded — never a
+// silent violation — and a second pass finds nothing left to repair.
+func FuzzPDScrub(f *testing.F) {
+	f.Add(uint64(1), []byte{0})
+	f.Add(uint64(2), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint64(3), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add(uint64(4), []byte("scrub me"))
+
+	f.Fuzz(func(t *testing.T, seed uint64, flips []byte) {
+		cfg := scrubConfigs[int(seed%uint64(len(scrubConfigs)))]
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warm(c, seed, 5000)
+
+		// Decode (domain, bit) pairs from the fuzz bytes: 5 bytes each.
+		domains := []cache.FaultDomain{cache.FaultTag, cache.FaultValid, cache.FaultDirty, cache.FaultPD}
+		for len(flips) >= 5 {
+			d := domains[int(flips[0])%len(domains)]
+			raw := uint64(flips[1]) | uint64(flips[2])<<8 | uint64(flips[3])<<16 | uint64(flips[4])<<24
+			flips = flips[5:]
+			if n := c.StateBits(d); n > 0 {
+				c.FlipStateBit(d, raw%n)
+			}
+		}
+
+		rep := c.ScrubPD()
+		if err := c.CheckInvariants(); err != nil && !c.Degraded() {
+			t.Fatalf("silent invariant violation after scrub: %v (report %+v)", err, rep)
+		}
+		if rep2 := c.ScrubPD(); rep2.Faulty() && !rep2.Degraded {
+			t.Fatalf("second scrub pass still faulty: %+v", rep2)
+		}
+		// The repaired (or degraded) cache must serve traffic unharmed.
+		warm(c, seed+1, 5000)
+		if err := c.CheckInvariants(); err != nil && !c.Degraded() {
+			t.Fatalf("invariant violated by post-scrub traffic: %v", err)
+		}
+	})
+}

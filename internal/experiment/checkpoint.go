@@ -1,0 +1,193 @@
+package experiment
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// A checkpoint makes long campaigns crash-safe: every completed
+// miss-rate work unit — one (profile × seed × spec) replay — is recorded
+// under a self-describing key, the file is rewritten atomically
+// (temp + rename, so a crash mid-save leaves the previous checkpoint
+// intact), and a resumed run looks each unit up before simulating it.
+// The stored values are the raw uint64 event counters, which round-trip
+// through JSON exactly, so a resumed run aggregates to bit-identical
+// results — not approximately-equal ones.
+
+// CheckpointSchemaVersion identifies the checkpoint JSON layout.
+const CheckpointSchemaVersion = 1
+
+// UnitResult is the committed outcome of one miss-rate work unit: raw
+// counters only, so resume is exact.
+type UnitResult struct {
+	Misses   uint64 `json:"misses"`
+	Accesses uint64 `json:"accesses"`
+	PDHit    uint64 `json:"pdHit,omitempty"`
+	PDMiss   uint64 `json:"pdMiss,omitempty"`
+}
+
+// checkpointFile is the on-disk layout.
+type checkpointFile struct {
+	SchemaVersion int                   `json:"schemaVersion"`
+	Units         map[string]UnitResult `json:"units"`
+}
+
+// Checkpoint is a concurrency-safe set of completed work units bound to
+// a file path. A nil *Checkpoint is valid and inert, so call sites need
+// no guards.
+type Checkpoint struct {
+	mu    sync.Mutex
+	path  string
+	units map[string]UnitResult
+	dirty int
+	// autosaveEvery flushes to disk after that many new records
+	// (0 = only on explicit Save).
+	autosaveEvery int
+	// afterRecord, when set, observes the total record count after each
+	// Record — the hook the resume tests use to interrupt mid-run.
+	afterRecord func(total int)
+}
+
+// NewCheckpoint returns an empty checkpoint bound to path ("" = purely
+// in-memory).
+func NewCheckpoint(path string) *Checkpoint {
+	return &Checkpoint{path: path, units: map[string]UnitResult{}}
+}
+
+// LoadCheckpoint reads a checkpoint from path. A missing file is not an
+// error — resuming a run that never started is an empty checkpoint.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	c := NewCheckpoint(path)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return c, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var f checkpointFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("experiment: parse checkpoint %s: %w", path, err)
+	}
+	if f.SchemaVersion != CheckpointSchemaVersion {
+		return nil, fmt.Errorf("experiment: checkpoint %s is schema v%d, this build reads v%d",
+			path, f.SchemaVersion, CheckpointSchemaVersion)
+	}
+	if f.Units != nil {
+		c.units = f.Units
+	}
+	return c, nil
+}
+
+// SetAutosave flushes the checkpoint to disk after every n new records.
+func (c *Checkpoint) SetAutosave(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.autosaveEvery = n
+	c.mu.Unlock()
+}
+
+// SetAfterRecord installs a hook observing the record count after each
+// Record (test hook; pass nil to clear).
+func (c *Checkpoint) SetAfterRecord(fn func(total int)) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.afterRecord = fn
+	c.mu.Unlock()
+}
+
+// Lookup returns the recorded result for key, if any.
+func (c *Checkpoint) Lookup(key string) (UnitResult, bool) {
+	if c == nil {
+		return UnitResult{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.units[key]
+	return r, ok
+}
+
+// Record stores the result of a completed unit and autosaves when due.
+// Save errors during autosave are deliberately swallowed — the units
+// stay recorded in memory and the caller's explicit Save will report
+// persistent failures.
+func (c *Checkpoint) Record(key string, r UnitResult) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if _, dup := c.units[key]; !dup {
+		c.dirty++
+	}
+	c.units[key] = r
+	total := len(c.units)
+	hook := c.afterRecord
+	if c.autosaveEvery > 0 && c.dirty >= c.autosaveEvery {
+		_ = c.saveLocked()
+	}
+	c.mu.Unlock()
+	if hook != nil {
+		hook(total)
+	}
+}
+
+// Len returns the number of recorded units.
+func (c *Checkpoint) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.units)
+}
+
+// Save writes the checkpoint atomically: the JSON goes to a temporary
+// file in the same directory, which then renames over the target, so
+// readers only ever see a complete document.
+func (c *Checkpoint) Save() error {
+	if c == nil || c.path == "" {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saveLocked()
+}
+
+func (c *Checkpoint) saveLocked() error {
+	if c.path == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(checkpointFile{
+		SchemaVersion: CheckpointSchemaVersion,
+		Units:         c.units,
+	}, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(c.path), filepath.Base(c.path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := os.Rename(tmp.Name(), c.path); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	c.dirty = 0
+	return nil
+}

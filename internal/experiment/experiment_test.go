@@ -18,6 +18,7 @@ func tinyOpts() Opts {
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{
+		"fault",
 		"fig3", "fig4", "fig5", "fig8", "fig9", "fig12",
 		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 		"x3c", "xdrowsy", "xl2", "xline", "xprefetch", "xrecolor", "xrelated", "xvipt", "xwindow",
@@ -35,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 	for _, e := range All() {
 		ids = append(ids, e.ID)
 	}
-	for i, id := range []string{"fig3", "fig4", "fig5", "fig8", "fig9", "fig12", "table1"} {
+	for i, id := range []string{"fault", "fig3", "fig4", "fig5", "fig8", "fig9", "fig12", "table1"} {
 		if ids[i] != id {
 			t.Fatalf("ordering: got %v", ids)
 		}

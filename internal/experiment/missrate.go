@@ -31,15 +31,22 @@ func init() {
 
 // reductionTable renders one figure panel: rows = benchmarks (+Ave),
 // columns = configurations, cells = % reduction vs. baseline, with the
-// baseline miss rate as the second column for context.
+// baseline miss rate as the second column for context. Profiles missing
+// from res — units lost to an interrupt or a failure — are skipped, so
+// partial runs still render the rows they completed.
 func reductionTable(id, title, note string, profiles []*workload.Profile,
 	specs []Spec, res map[string]map[string]missRun) *Table {
 
 	t := &Table{ID: id, Title: title, Note: note}
 	t.Headers = append([]string{"benchmark", "base-miss"}, specNames(specs)...)
 	sums := make([]float64, len(specs))
+	included := 0
 	for _, p := range profiles {
-		row := res[p.Name]
+		row, ok := res[p.Name]
+		if !ok {
+			continue
+		}
+		included++
 		base := row["baseline"]
 		cells := []string{p.Name, pct(base.missRate)}
 		for i, s := range specs {
@@ -49,11 +56,16 @@ func reductionTable(id, title, note string, profiles []*workload.Profile,
 		}
 		t.AddRow(cells...)
 	}
-	ave := []string{"Ave", ""}
-	for _, s := range sums {
-		ave = append(ave, pct(s/float64(len(profiles))))
+	if included > 0 {
+		ave := []string{"Ave", ""}
+		for _, s := range sums {
+			ave = append(ave, pct(s/float64(included)))
+		}
+		t.AddRow(ave...)
 	}
-	t.AddRow(ave...)
+	if included < len(profiles) {
+		t.Note = fmt.Sprintf("%s [partial: %d/%d benchmarks completed]", t.Note, included, len(profiles))
+	}
 	return t
 }
 
@@ -69,7 +81,7 @@ func runFig4(opts Opts) ([]*Table, error) {
 	specs := figureSpecs()
 	all := workload.All()
 	res, err := missRates(opts, all, specs, dSide)
-	if err != nil {
+	if err != nil && len(res) == 0 {
 		return nil, err
 	}
 	note := fmt.Sprintf("synthetic SPEC2K surrogates, %d instructions, LRU", opts.Instructions)
@@ -79,7 +91,7 @@ func runFig4(opts Opts) ([]*Table, error) {
 			"fig4", fmt.Sprintf("D$ miss rate reductions over 16kB direct-mapped baseline (%s)", suite),
 			note, workload.Suite(suite), specs, res))
 	}
-	return tables, nil
+	return tables, err
 }
 
 func runFig5(opts Opts) ([]*Table, error) {
@@ -91,13 +103,13 @@ func runFig5(opts Opts) ([]*Table, error) {
 		}
 	}
 	res, err := missRates(opts, reported, specs, iSide)
-	if err != nil {
+	if err != nil && len(res) == 0 {
 		return nil, err
 	}
 	note := fmt.Sprintf("benchmarks with I$ miss rate ≥ 0.01%%; %d instructions", opts.Instructions)
 	t := reductionTable("fig5", "I$ miss rate reductions over 16kB direct-mapped baseline",
 		note, reported, specs, res)
-	return []*Table{t}, nil
+	return []*Table{t}, err
 }
 
 // fig12Specs: the twelve configurations of Figure 12 — conventional
@@ -154,15 +166,24 @@ func runFig12(opts Opts) ([]*Table, error) {
 			}
 			t.Headers = append([]string{"group"}, specNames(specs)...)
 			sums := make([]float64, len(specs))
+			included := 0
 			for _, p := range profiles {
-				base := res[p.Name]["baseline"]
-				for i, sp := range specs {
-					sums[i] += reduction(base, res[p.Name][sp.Name])
+				row, ok := res[p.Name]
+				if !ok {
+					continue
 				}
+				included++
+				base := row["baseline"]
+				for i, sp := range specs {
+					sums[i] += reduction(base, row[sp.Name])
+				}
+			}
+			if included == 0 {
+				included = 1
 			}
 			cells := []string{fmt.Sprintf("%dK %s", size/1024, s.tag)}
 			for _, v := range sums {
-				cells = append(cells, pct(v/float64(len(profiles))))
+				cells = append(cells, pct(v/float64(included)))
 			}
 			t.AddRow(cells...)
 			tables = append(tables, t)

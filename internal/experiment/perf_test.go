@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -215,9 +216,10 @@ func TestRunUnitsCoversAll(t *testing.T) {
 	}
 }
 
-// TestRunUnitsCancelOnFirstError: after a failure no new units are
-// claimed, and the failure is reported.
-func TestRunUnitsCancelOnFirstError(t *testing.T) {
+// TestRunUnitsSurvivesFailure: a failure costs that one unit, not the
+// rest of the run — every sibling still executes, and the failure is
+// reported.
+func TestRunUnitsSurvivesFailure(t *testing.T) {
 	boom := errors.New("boom")
 	var ran atomic.Int32
 	err := runUnits(1000, 1, func(i int) error {
@@ -230,8 +232,8 @@ func TestRunUnitsCancelOnFirstError(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Fatalf("error = %v, want %v", err, boom)
 	}
-	if got := ran.Load(); got != 4 {
-		t.Fatalf("ran %d units after error at unit 3, want 4", got)
+	if got := ran.Load(); got != 1000 {
+		t.Fatalf("ran %d units, want all 1000 despite unit 3 failing", got)
 	}
 }
 
@@ -252,7 +254,7 @@ func TestRunUnitsJoinsConcurrentErrors(t *testing.T) {
 		want := fmt.Sprintf("unit %d failed", i)
 		found := false
 		for _, e := range multiUnwrap(err) {
-			if e.Error() == want {
+			if strings.Contains(e.Error(), want) {
 				found = true
 			}
 		}
@@ -286,7 +288,7 @@ func TestForEachProfileWrapsName(t *testing.T) {
 	want := profiles[0].Name + ": boom"
 	found := false
 	for _, e := range multiUnwrap(err) {
-		if e.Error() == want {
+		if strings.Contains(e.Error(), want) {
 			found = true
 		}
 	}

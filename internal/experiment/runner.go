@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"bcache/internal/addr"
 	"bcache/internal/altcache"
@@ -34,6 +35,15 @@ type Opts struct {
 	// TraceBytes bounds the shared materialized-trace cache: 0 uses the
 	// default budget, negative disables memoization.
 	TraceBytes int64
+	// Checkpoint, when non-nil, records every completed miss-rate work
+	// unit and lets an interrupted run resume bit-identically: units
+	// found in the checkpoint are not re-simulated.
+	Checkpoint *Checkpoint
+	// UnitTimeout abandons a single work unit running longer than this
+	// (0 = no deadline); abandoned and ErrTransient units are retried
+	// up to UnitRetries times with exponential backoff.
+	UnitTimeout time.Duration
+	UnitRetries int
 }
 
 // DefaultOpts returns the scale used for EXPERIMENTS.md.
@@ -253,62 +263,87 @@ type missRun struct {
 	pdHitDuringMiss float64
 }
 
+// unitKey names one (side, scale, spec, seed, profile) work unit for the
+// checkpoint. The key is self-describing — it embeds everything the
+// stored counters depend on — so a checkpoint written at one scale can
+// never poison a resume at another.
+func unitKey(opts Opts, s side, spec string, seedIdx int, profile string) string {
+	return fmt.Sprintf("v1|side=%d|n=%d|size=%d|line=%d|spec=%s|seed=%d|prof=%s",
+		s, opts.Instructions, opts.L1Size, opts.LineBytes, spec, seedIdx, profile)
+}
+
 // missRates runs all profiles × (baseline + specs) on one cache side and
 // returns results[profile][specName] plus the baseline under "baseline".
 // The grain scheduled on the worker pool is a single (profile, seed,
 // spec) replay, so runs with fewer benchmarks than cores still saturate
 // the machine; traces are shared through the memoizing cache.
+//
+// Failed or interrupted units do not void the run: the returned map
+// holds every profile whose units all completed, alongside the joined
+// error, so callers can render partial results. Units found in
+// opts.Checkpoint are restored instead of re-simulated (bit-identically:
+// the checkpoint stores the raw counters), and completed units are
+// recorded there as they finish.
 func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (map[string]map[string]missRun, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
 	all := append([]Spec{baselineSpec()}, specs...)
 	seeds := opts.seeds()
+	cp := opts.Checkpoint
 
-	// One slot per work unit, written only by its owner; reduced below.
-	type unitOut struct {
-		misses, accesses uint64
-		pdHit, pdMiss    uint64
-	}
+	// One slot per work unit, written only by its owner's commit
+	// closure on the worker goroutine; reduced below.
 	perSeed := seeds * len(all)
-	units := make([]unitOut, len(profiles)*perSeed)
-	err := runUnits(len(units), opts.workers(), func(i int) error {
+	units := make([]UnitResult, len(profiles)*perSeed)
+	done := make([]bool, len(units))
+	uo := unitOpts{Timeout: opts.UnitTimeout, Retries: opts.UnitRetries}
+	err := runUnitsCtl(len(units), opts.workers(), uo, func(i int) (func(), error) {
 		p := profiles[i/perSeed]
 		k := i % perSeed / len(all)
 		spec := all[i%len(all)]
+		key := unitKey(opts, s, spec.Name, k, p.Name)
+		if u, ok := cp.Lookup(key); ok {
+			return func() { units[i], done[i] = u, true }, nil
+		}
 		at, err := cachedTrace(opts, withSeed(p, k))
 		if err != nil {
-			return fmt.Errorf("%s: %w", p.Name, err)
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
 		c, err := spec.New(opts.L1Size, opts.LineBytes)
 		if err != nil {
-			return fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
+			return nil, fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
 		}
 		replay(at, c, s)
 		st := c.Stats()
-		u := unitOut{misses: st.Misses, accesses: st.Accesses}
+		u := UnitResult{Misses: st.Misses, Accesses: st.Accesses}
 		if bc, ok := c.(*core.BCache); ok {
 			pd := bc.PDStats()
-			u.pdHit, u.pdMiss = pd.MissPDHit, pd.MissPDMiss
+			u.PDHit, u.PDMiss = pd.MissPDHit, pd.MissPDMiss
 		}
-		units[i] = u
-		return nil
+		return func() {
+			units[i], done[i] = u, true
+			cp.Record(key, u)
+		}, nil
 	})
-	if err != nil {
-		return nil, err
-	}
 
 	results := make(map[string]map[string]missRun, len(profiles))
 	for pi, p := range profiles {
 		row := make(map[string]missRun, len(all))
+		complete := true
 		for si, spec := range all {
 			var r missRun
 			for k := 0; k < seeds; k++ {
-				u := units[pi*perSeed+k*len(all)+si]
-				r.misses += u.misses
-				r.accesses += u.accesses
-				r.pdHit += u.pdHit
-				r.pdMiss += u.pdMiss
+				idx := pi*perSeed + k*len(all) + si
+				if !done[idx] {
+					complete = false
+					break
+				}
+				u := units[idx]
+				r.misses += u.Misses
+				r.accesses += u.Accesses
+				r.pdHit += u.PDHit
+				r.pdMiss += u.PDMiss
 			}
 			if r.accesses > 0 {
 				r.missRate = float64(r.misses) / float64(r.accesses)
@@ -318,7 +353,12 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 			}
 			row[spec.Name] = r
 		}
-		results[p.Name] = row
+		if complete {
+			results[p.Name] = row
+		}
+	}
+	if err != nil {
+		return results, err
 	}
 	return results, nil
 }

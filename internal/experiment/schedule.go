@@ -3,22 +3,100 @@ package experiment
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"bcache/internal/workload"
 )
 
-// runUnits executes fn(i) for every i in [0, n) on up to workers
-// goroutines pulling from a shared atomic counter. Work units should be
-// the finest independent grain available — (profile × spec × seed) rather
-// than whole profiles — so a run with fewer benchmarks than cores still
-// saturates the machine.
+// The scheduler is the suite's crash boundary. A multi-hour campaign must
+// survive one misbehaving work unit — a panic in a cache model, a
+// wedged simulation, a transient failure — without losing the hours of
+// sibling results already computed. Three mechanisms provide that:
 //
-// On the first error, workers stop claiming new units (in-flight units
-// finish); every error collected before shutdown is returned via
-// errors.Join, so concurrent failures are not silently dropped.
-func runUnits(n, workers int, fn func(int) error) error {
+//   - Panic isolation: each unit runs under recover; a panic becomes an
+//     error carrying the unit's stack, and every other unit proceeds.
+//   - Deadlines and retry: a unit exceeding its deadline is abandoned
+//     (the orphaned goroutine can never write shared state, because
+//     results are committed only via a closure the worker itself invokes
+//     on receipt) and retried with exponential backoff, as are units
+//     failing with ErrTransient.
+//   - No cancel-on-first-error: workers keep draining the unit counter
+//     after a failure, so one bad (benchmark, spec) pair costs one cell,
+//     not the whole table. All errors come back via errors.Join alongside
+//     whatever results completed.
+//
+// RequestStop (wired to SIGINT in the CLIs) is the one thing that stops
+// claiming early: in-flight units finish, the error includes
+// ErrInterrupted, and completed units remain available for checkpointing.
+
+var (
+	// ErrTransient marks a unit failure worth retrying (wrap it:
+	// fmt.Errorf("...: %w", ErrTransient)).
+	ErrTransient = errors.New("transient failure")
+	// ErrInterrupted is joined into the scheduler's error when a stop
+	// request (RequestStop) cut the run short.
+	ErrInterrupted = errors.New("experiment: interrupted")
+	// ErrUnitTimeout marks a unit abandoned past its deadline.
+	ErrUnitTimeout = errors.New("experiment: unit deadline exceeded")
+)
+
+// stopRequested is the process-wide graceful-stop latch.
+var stopRequested atomic.Bool
+
+// RequestStop asks all schedulers to stop claiming new work units.
+// In-flight units finish and their results are committed; the active
+// runs return ErrInterrupted (joined with any other errors).
+func RequestStop() { stopRequested.Store(true) }
+
+// ResetStop clears a previous stop request (tests and REPL-style
+// drivers; a one-shot CLI exits instead).
+func ResetStop() { stopRequested.Store(false) }
+
+// Stopped reports whether a stop has been requested.
+func Stopped() bool { return stopRequested.Load() }
+
+// maxJoinedErrors bounds the error list a run returns; past it, failures
+// are summarized by count so a systematically broken spec does not
+// produce megabytes of joined errors.
+const maxJoinedErrors = 16
+
+// unitOpts bounds one scheduled work unit.
+type unitOpts struct {
+	// Timeout abandons a unit that runs longer (0 = no deadline). The
+	// abandoned goroutine is left to finish in the background; its
+	// commit closure is never invoked.
+	Timeout time.Duration
+	// Retries re-runs a unit that timed out or failed with ErrTransient
+	// up to this many additional times.
+	Retries int
+	// Backoff is the first retry delay, doubling per attempt
+	// (default 50ms).
+	Backoff time.Duration
+}
+
+func (o unitOpts) backoff() time.Duration {
+	if o.Backoff > 0 {
+		return o.Backoff
+	}
+	return 50 * time.Millisecond
+}
+
+// runUnitsCtl executes fn(i) for every i in [0, n) on up to workers
+// goroutines pulling from a shared atomic counter. Work units should be
+// the finest independent grain available — (profile × spec × seed)
+// rather than whole profiles — so a run with fewer benchmarks than cores
+// still saturates the machine.
+//
+// fn returns (commit, error). On success the worker invokes commit (if
+// non-nil) from its own goroutine — that is the only path results may
+// reach shared state through, which is what makes abandoning a
+// timed-out unit safe. Unit failures do not cancel siblings; every
+// error is collected and returned via errors.Join after all claimable
+// units ran.
+func runUnitsCtl(n, workers int, o unitOpts, fn func(int) (func(), error)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -29,39 +107,121 @@ func runUnits(n, workers int, fn func(int) error) error {
 		workers = n
 	}
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		mu     sync.Mutex
-		errs   []error
-		wg     sync.WaitGroup
+		next        atomic.Int64
+		interrupted atomic.Bool
+		mu          sync.Mutex
+		errs        []error
+		dropped     int
+		wg          sync.WaitGroup
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
+			for {
+				if stopRequested.Load() {
+					interrupted.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if err := fn(i); err != nil {
-					failed.Store(true)
+				if err := runOneUnit(i, o, fn); err != nil {
 					mu.Lock()
-					errs = append(errs, err)
+					if len(errs) < maxJoinedErrors {
+						errs = append(errs, err)
+					} else {
+						dropped++
+					}
 					mu.Unlock()
-					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if dropped > 0 {
+		errs = append(errs, fmt.Errorf("experiment: %d further unit failures elided", dropped))
+	}
+	if interrupted.Load() {
+		errs = append(errs, ErrInterrupted)
+	}
 	return errors.Join(errs...)
 }
 
-// forEachProfile runs fn over profiles with bounded parallelism,
-// cancelling outstanding profiles on the first error. Experiments whose
-// work does not decompose further use this; the miss-rate and timed
-// paths schedule finer units directly via runUnits.
+// runOneUnit runs unit i to completion, committing on success and
+// retrying timeouts and transient failures with exponential backoff.
+func runOneUnit(i int, o unitOpts, fn func(int) (func(), error)) error {
+	delay := o.backoff()
+	for attempt := 0; ; attempt++ {
+		commit, err := invokeUnit(i, o.Timeout, fn)
+		if err == nil {
+			if commit != nil {
+				commit()
+			}
+			return nil
+		}
+		retryable := errors.Is(err, ErrTransient) || errors.Is(err, ErrUnitTimeout)
+		if !retryable || attempt >= o.Retries || stopRequested.Load() {
+			if attempt > 0 {
+				return fmt.Errorf("unit %d (after %d retries): %w", i, attempt, err)
+			}
+			return fmt.Errorf("unit %d: %w", i, err)
+		}
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+// invokeUnit calls fn(i) with panic isolation and, when a deadline is
+// set, abandons the call past it. An abandoned call keeps running on its
+// orphaned goroutine but its commit closure is discarded unseen, so it
+// can never race a retry or corrupt shared slots.
+func invokeUnit(i int, timeout time.Duration, fn func(int) (func(), error)) (func(), error) {
+	if timeout <= 0 {
+		return protectUnit(i, fn)
+	}
+	type outcome struct {
+		commit func()
+		err    error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		c, err := protectUnit(i, fn)
+		ch <- outcome{c, err}
+	}()
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case out := <-ch:
+		return out.commit, out.err
+	case <-t.C:
+		return nil, fmt.Errorf("after %v: %w", timeout, ErrUnitTimeout)
+	}
+}
+
+// protectUnit converts a panic in fn into an error carrying the stack.
+func protectUnit(i int, fn func(int) (func(), error)) (commit func(), err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			commit = nil
+			err = fmt.Errorf("experiment: unit %d panicked: %v\n%s", i, r, debug.Stack())
+		}
+	}()
+	return fn(i)
+}
+
+// runUnits is the plain-grain scheduler: fn both computes and stores its
+// result (safe because without a deadline no call is ever abandoned).
+func runUnits(n, workers int, fn func(int) error) error {
+	return runUnitsCtl(n, workers, unitOpts{}, func(i int) (func(), error) {
+		return nil, fn(i)
+	})
+}
+
+// forEachProfile runs fn over profiles with bounded parallelism.
+// Experiments whose work does not decompose further use this; the
+// miss-rate and timed paths schedule finer units directly.
 func forEachProfile(profiles []*workload.Profile, workers int, fn func(*workload.Profile) error) error {
 	return runUnits(len(profiles), workers, func(i int) error {
 		if err := fn(profiles[i]); err != nil {

@@ -29,11 +29,15 @@ type traceKey struct {
 	lineBytes    int
 }
 
-// traceEntry is one cache slot. ready is closed when at/err are set.
+// traceEntry is one cache slot. ready is closed when at/err are set;
+// sum is the content checksum taken at build time, re-verified on every
+// hit so a corrupted shared trace is rebuilt instead of silently
+// poisoning every experiment that replays it.
 type traceEntry struct {
 	ready   chan struct{}
 	at      *accessTrace
 	err     error
+	sum     uint64
 	size    int64
 	lastUse uint64
 }
@@ -43,7 +47,10 @@ type TraceCacheCounters struct {
 	Hits      uint64
 	Misses    uint64
 	Evictions uint64
-	Bytes     int64
+	// Rebuilds counts entries discarded because their content no longer
+	// matched the build-time checksum.
+	Rebuilds uint64
+	Bytes    int64
 }
 
 type traceCache struct {
@@ -84,14 +91,60 @@ func (at *accessTrace) sizeBytes() int64 {
 	return int64(len(at.data))*memAccBytes + int64(len(at.fetch))*8
 }
 
+// checksum folds the trace's full content through FNV-1a. accessTrace is
+// immutable after build, so any later mismatch means memory corruption
+// (or a bug that mutated a shared trace) — either way the entry must not
+// be replayed.
+func (at *accessTrace) checksum() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	word := func(v uint64) {
+		for i := 0; i < 64; i += 8 {
+			h = (h ^ (v >> i & 0xFF)) * prime
+		}
+	}
+	word(uint64(len(at.data)))
+	for _, m := range at.data {
+		v := uint64(m.a) << 1
+		if m.write {
+			v |= 1
+		}
+		word(v)
+	}
+	word(uint64(len(at.fetch)))
+	for _, pc := range at.fetch {
+		word(uint64(pc))
+	}
+	return h
+}
+
 // get returns the materialized stream for (p, n, lineBytes), building it
-// at most once per key. budget <= 0 bypasses the cache entirely.
+// at most once per key and verifying its checksum on every hit. A
+// corrupted entry is dropped, counted under Rebuilds, and rebuilt.
+// budget <= 0 bypasses the cache entirely.
 func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget int64) (*accessTrace, error) {
 	if budget <= 0 {
 		return materialize(p, n, lineBytes)
 	}
 	key := traceKey{name: p.Name, seed: p.Seed, instructions: n, lineBytes: lineBytes}
+	for {
+		at, err, verified := tc.getOnce(key, p, n, lineBytes, budget)
+		if err != nil || verified {
+			return at, err
+		}
+		// Checksum mismatch: the entry was already discarded by getOnce;
+		// loop to rebuild. A rebuilt entry is returned by its builder
+		// without re-verification, so this cannot loop forever.
+	}
+}
 
+// getOnce performs one lookup-or-build. verified is false only when a
+// cached entry failed its checksum (the caller should retry); built
+// entries are trusted by construction.
+func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineBytes int, budget int64) (_ *accessTrace, _ error, verified bool) {
 	tc.mu.Lock()
 	if e, ok := tc.entries[key]; ok {
 		tc.ticks++
@@ -99,7 +152,19 @@ func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget i
 		tc.c.Hits++
 		tc.mu.Unlock()
 		<-e.ready
-		return e.at, e.err
+		if e.err == nil && e.at.checksum() != e.sum {
+			tc.mu.Lock()
+			// Only discard if the slot still holds this corrupt entry
+			// (another caller may have replaced it already).
+			if cur, ok := tc.entries[key]; ok && cur == e {
+				tc.used -= e.size
+				delete(tc.entries, key)
+				tc.c.Rebuilds++
+			}
+			tc.mu.Unlock()
+			return nil, nil, false
+		}
+		return e.at, e.err, true
 	}
 	e := &traceEntry{ready: make(chan struct{})}
 	tc.ticks++
@@ -110,6 +175,9 @@ func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget i
 
 	at, err := materialize(p, n, lineBytes)
 	e.at, e.err = at, err
+	if err == nil {
+		e.sum = at.checksum()
+	}
 	close(e.ready)
 
 	tc.mu.Lock()
@@ -122,7 +190,7 @@ func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget i
 		tc.evictLocked(key, budget)
 	}
 	tc.mu.Unlock()
-	return at, err
+	return at, err, true
 }
 
 // evictLocked drops least-recently-used completed entries (never keep,

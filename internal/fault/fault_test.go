@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/cache"
+	"bcache/internal/core"
+	"bcache/internal/obs"
+	"bcache/internal/rng"
+)
+
+func newBCache(t *testing.T) *core.BCache {
+	t.Helper()
+	c, err := core.New(core.Config{SizeBytes: 16 << 10, LineBytes: 32, MF: 8, BAS: 8, Policy: cache.LRU})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// drive runs n deterministic accesses and returns final stats.
+func drive(c cache.Cache, seed uint64, n int) *cache.Stats {
+	r := rng.New(seed)
+	for i := 0; i < n; i++ {
+		c.Access(addr.Addr(r.Uint64())&0xFFFFF, r.Uint64()&1 == 0)
+	}
+	return c.Stats()
+}
+
+// TestDeterminism: two runs with the same seed and rate must produce
+// byte-identical fault logs and identical classification counts — the
+// property every campaign result rests on.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Rate: 1e-3, Protection: None, Seed: 42, ScrubEvery: 4096}
+	logs := make([][]byte, 2)
+	counts := make([]Counts, 2)
+	for i := range logs {
+		in, err := Wrap(newBCache(t), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drive(in, 9, 100000)
+		b, err := json.Marshal(in.Events())
+		if err != nil {
+			t.Fatal(err)
+		}
+		logs[i] = b
+		counts[i] = in.Counts()
+	}
+	if !bytes.Equal(logs[0], logs[1]) {
+		t.Error("fault logs differ between identical runs")
+	}
+	if counts[0] != counts[1] {
+		t.Errorf("counts differ: %+v vs %+v", counts[0], counts[1])
+	}
+	if counts[0].Injected == 0 {
+		t.Error("rate 1e-3 over 100k accesses injected nothing")
+	}
+}
+
+// TestResetReplaysFaults: Reset must rewind the injection stream so the
+// identical fault sequence replays.
+func TestResetReplaysFaults(t *testing.T) {
+	in, err := Wrap(newBCache(t), Config{Rate: 1e-3, Protection: None, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(in, 3, 50000)
+	first := append([]Event(nil), in.Events()...)
+	in.Reset()
+	drive(in, 3, 50000)
+	if len(first) != len(in.Events()) {
+		t.Fatalf("replay injected %d faults, first run %d", len(in.Events()), len(first))
+	}
+	for i, e := range in.Events() {
+		if e != first[i] {
+			t.Fatalf("event %d differs after Reset: %+v vs %+v", i, e, first[i])
+		}
+	}
+}
+
+// TestParityDetectsAll: under parity every fault is detected, none are
+// silent, and state stays coherent (the recovery drops sites instead of
+// corrupting them).
+func TestParityDetectsAll(t *testing.T) {
+	in, err := Wrap(newBCache(t), Config{Rate: 1e-2, Protection: Parity, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(in, 5, 100000)
+	c := in.Counts()
+	if c.Injected == 0 || c.Detected != c.Injected || c.Silent != 0 || c.Corrected != 0 {
+		t.Errorf("parity counts %+v: want all injected detected", c)
+	}
+	if err := in.FinalScrub(); err != nil {
+		t.Errorf("parity run ended with broken invariant: %v", err)
+	}
+	if in.Degraded() {
+		t.Error("parity recovery should never need degradation")
+	}
+}
+
+// TestSECDEDIsTransparent: corrected faults change nothing, so a SEC-DED
+// run must be bit-identical in cache behavior to a fault-free run.
+func TestSECDEDIsTransparent(t *testing.T) {
+	clean := newBCache(t)
+	drive(clean, 5, 100000)
+
+	in, err := Wrap(newBCache(t), Config{Rate: 1e-2, Protection: SECDED, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := drive(in, 5, 100000)
+	if c := in.Counts(); c.Corrected != c.Injected || c.Injected == 0 {
+		t.Errorf("secded counts %+v: want all injected corrected", c)
+	}
+	if st.Misses != clean.Stats().Misses || st.Hits != clean.Stats().Hits {
+		t.Errorf("secded run diverged from fault-free: %d/%d misses vs %d/%d",
+			st.Misses, st.Accesses, clean.Stats().Misses, clean.Stats().Accesses)
+	}
+}
+
+// TestUnprotectedScrubRestores: silent faults corrupt real state; the
+// periodic scrubber must keep the run free of silent invariant
+// violations (repair or explicit degradation, never limbo).
+func TestUnprotectedScrubRestores(t *testing.T) {
+	bc := newBCache(t)
+	in, err := Wrap(bc, Config{
+		Rate: 1e-2, Protection: None, Seed: 3, ScrubEvery: 2048,
+		Domains: []cache.FaultDomain{cache.FaultPD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(in, 11, 200000)
+	if err := in.FinalScrub(); err != nil && !bc.Degraded() {
+		t.Errorf("silent invariant violation survived scrubbing: %v", err)
+	}
+	rep, passes := in.ScrubTotals()
+	if passes == 0 || rep.Repaired == 0 {
+		t.Errorf("PD faults at 1e-2 should force repairs, got %+v over %d passes", rep, passes)
+	}
+}
+
+// TestProbeSeesFaults: injector events must reach an attached probe and
+// line up with the injector's own counts.
+func TestProbeSeesFaults(t *testing.T) {
+	in, err := Wrap(newBCache(t), Config{Rate: 1e-3, Protection: Parity, Seed: 2, ScrubEvery: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr obs.Counters
+	cache.AttachProbe(in, &ctr)
+	drive(in, 13, 100000)
+	c := in.Counts()
+	if ctr.Faults != c.Injected || ctr.FaultsDetected != c.Detected {
+		t.Errorf("probe saw %d/%d faults, injector counted %d/%d",
+			ctr.Faults, ctr.FaultsDetected, c.Injected, c.Detected)
+	}
+	if ctr.Accesses != 100000 {
+		t.Errorf("probe saw %d accesses through the injector, want 100000", ctr.Accesses)
+	}
+	_, passes := in.ScrubTotals()
+	if ctr.ScrubPasses != passes {
+		t.Errorf("probe saw %d scrub passes, injector ran %d", ctr.ScrubPasses, passes)
+	}
+}
+
+// TestSetAssocTarget: the injector also wraps conventional caches (the
+// baseline side of a campaign).
+func TestSetAssocTarget(t *testing.T) {
+	sa, err := cache.NewSetAssoc(16<<10, 32, 4, cache.LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := Wrap(sa, Config{Rate: 1e-3, Protection: None, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(in, 17, 100000)
+	c := in.Counts()
+	if c.Injected == 0 {
+		t.Error("no faults injected into set-associative target")
+	}
+	if c.ByDomain[cache.FaultPD] != 0 {
+		t.Error("set-associative cache has no PD domain to inject into")
+	}
+	if err := in.FinalScrub(); err != nil {
+		t.Errorf("FinalScrub on non-B-Cache target: %v", err)
+	}
+}
+
+// TestWrapRejects: bad rates and targets without injectable state fail
+// loudly at construction.
+func TestWrapRejects(t *testing.T) {
+	if _, err := Wrap(newBCache(t), Config{Rate: 1.5}); err == nil {
+		t.Error("rate 1.5 accepted")
+	}
+	if _, err := Wrap(newBCache(t), Config{Rate: -0.1}); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := Wrap(noState{}, Config{Rate: 1e-3}); err == nil {
+		t.Error("cache without fault state accepted")
+	}
+	if _, err := Wrap(newBCache(t), Config{
+		Rate:    1e-3,
+		Domains: []cache.FaultDomain{cache.FaultDomain(250)},
+	}); err == nil {
+		t.Error("unknown-domain-only config accepted")
+	}
+}
+
+// noState implements cache.Cache but not Target.
+type noState struct{}
+
+func (noState) Access(addr.Addr, bool) cache.Result { return cache.Result{} }
+func (noState) Contains(addr.Addr) bool             { return false }
+func (noState) Stats() *cache.Stats                 { return nil }
+func (noState) Geometry() cache.Geometry            { return cache.Geometry{} }
+func (noState) Name() string                        { return "nostate" }
+func (noState) Reset()                              {}

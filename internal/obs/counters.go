@@ -21,6 +21,18 @@ type Counters struct {
 	// performed against the L2.
 	DirtyEvictions uint64 `json:"dirtyEvictions"`
 	Writebacks     uint64 `json:"writebacks"`
+	// Faults classify injected soft errors by the protection model's
+	// verdict; FaultsByDomain splits them by the state array hit
+	// (indexed by cache.FaultDomain).
+	Faults          uint64                        `json:"faults"`
+	FaultsSilent    uint64                        `json:"faultsSilent"`
+	FaultsDetected  uint64                        `json:"faultsDetected"`
+	FaultsCorrected uint64                        `json:"faultsCorrected"`
+	FaultsByDomain  [cache.NumFaultDomains]uint64 `json:"faultsByDomain"`
+	// ScrubPasses/ScrubRepairs/ScrubDegrades count PD scrubber activity.
+	ScrubPasses   uint64 `json:"scrubPasses"`
+	ScrubRepairs  uint64 `json:"scrubRepairs"`
+	ScrubDegrades uint64 `json:"scrubDegrades"`
 }
 
 var _ cache.Probe = (*Counters)(nil)
@@ -60,6 +72,31 @@ func (c *Counters) ObserveEvict(dirty bool) {
 
 // ObserveWriteback implements cache.Probe.
 func (c *Counters) ObserveWriteback() { c.Writebacks++ }
+
+// ObserveFault implements cache.Probe.
+func (c *Counters) ObserveFault(d cache.FaultDomain, cl cache.FaultClass) {
+	c.Faults++
+	if d < cache.NumFaultDomains {
+		c.FaultsByDomain[d]++
+	}
+	switch cl {
+	case cache.FaultSilent:
+		c.FaultsSilent++
+	case cache.FaultDetected:
+		c.FaultsDetected++
+	case cache.FaultCorrected:
+		c.FaultsCorrected++
+	}
+}
+
+// ObserveScrub implements cache.Probe.
+func (c *Counters) ObserveScrub(repaired int, degraded bool) {
+	c.ScrubPasses++
+	c.ScrubRepairs += uint64(repaired)
+	if degraded {
+		c.ScrubDegrades++
+	}
+}
 
 // MissRate returns Misses/Accesses, or 0 for an idle probe.
 func (c *Counters) MissRate() float64 {

@@ -33,6 +33,10 @@ type Sample struct {
 	Evictions      uint64 `json:"evictions"`
 	DirtyEvictions uint64 `json:"dirtyEvictions"`
 	Writebacks     uint64 `json:"writebacks"`
+	// Faults counts injected soft errors of any classification in the
+	// interval; ScrubRepairs counts PD entries the scrubber repaired.
+	Faults       uint64 `json:"faults,omitempty"`
+	ScrubRepairs uint64 `json:"scrubRepairs,omitempty"`
 }
 
 // MissRate returns the interval's miss rate, 0 if it saw no accesses.
@@ -171,6 +175,16 @@ func (s *IntervalSampler) ObserveEvict(dirty bool) {
 // ObserveWriteback implements cache.Probe.
 func (s *IntervalSampler) ObserveWriteback() { s.cur.Writebacks++ }
 
+// ObserveFault implements cache.Probe.
+func (s *IntervalSampler) ObserveFault(d cache.FaultDomain, c cache.FaultClass) {
+	s.cur.Faults++
+}
+
+// ObserveScrub implements cache.Probe.
+func (s *IntervalSampler) ObserveScrub(repaired int, degraded bool) {
+	s.cur.ScrubRepairs += uint64(repaired)
+}
+
 // Flush closes the open interval if it observed anything. Call once at
 // end of run so the tail shorter than one interval is not dropped.
 func (s *IntervalSampler) Flush() {
@@ -212,6 +226,8 @@ func (s *IntervalSampler) compact() {
 			Evictions:      a.Evictions + b.Evictions,
 			DirtyEvictions: a.DirtyEvictions + b.DirtyEvictions,
 			Writebacks:     a.Writebacks + b.Writebacks,
+			Faults:         a.Faults + b.Faults,
+			ScrubRepairs:   a.ScrubRepairs + b.ScrubRepairs,
 		}
 		if s.curHeat != nil {
 			dst := s.heatBuf[i*s.buckets : (i+1)*s.buckets]

@@ -45,6 +45,12 @@ func (Nop) ObserveEvict(dirty bool) {}
 // ObserveWriteback implements cache.Probe.
 func (Nop) ObserveWriteback() {}
 
+// ObserveFault implements cache.Probe.
+func (Nop) ObserveFault(d cache.FaultDomain, c cache.FaultClass) {}
+
+// ObserveScrub implements cache.Probe.
+func (Nop) ObserveScrub(repaired int, degraded bool) {}
+
 // multi fans every event out to each attached probe, in order.
 type multi []cache.Probe
 
@@ -96,5 +102,17 @@ func (m multi) ObserveEvict(dirty bool) {
 func (m multi) ObserveWriteback() {
 	for _, p := range m {
 		p.ObserveWriteback()
+	}
+}
+
+func (m multi) ObserveFault(d cache.FaultDomain, c cache.FaultClass) {
+	for _, p := range m {
+		p.ObserveFault(d, c)
+	}
+}
+
+func (m multi) ObserveScrub(repaired int, degraded bool) {
+	for _, p := range m {
+		p.ObserveScrub(repaired, degraded)
 	}
 }

@@ -23,15 +23,16 @@ const SchemaVersion = 1
 // simulator went, and how the run evolved over time. It is the payload
 // of `bcachesim -report` and the per-run entries of BENCH_obs.json.
 type Report struct {
-	SchemaVersion int         `json:"schemaVersion"`
-	Config        RunConfig   `json:"config"`
-	Totals        Totals      `json:"totals"`
-	PD            *PDTotals   `json:"pd,omitempty"`
-	Balance       *Balance    `json:"balance,omitempty"`
-	Throughput    *Throughput `json:"throughput,omitempty"`
-	Series        []Series    `json:"series,omitempty"`
-	Samples       []Sample    `json:"samples,omitempty"`
-	Heatmap       *Heatmap    `json:"heatmap,omitempty"`
+	SchemaVersion int          `json:"schemaVersion"`
+	Config        RunConfig    `json:"config"`
+	Totals        Totals       `json:"totals"`
+	PD            *PDTotals    `json:"pd,omitempty"`
+	Fault         *FaultTotals `json:"fault,omitempty"`
+	Balance       *Balance     `json:"balance,omitempty"`
+	Throughput    *Throughput  `json:"throughput,omitempty"`
+	Series        []Series     `json:"series,omitempty"`
+	Samples       []Sample     `json:"samples,omitempty"`
+	Heatmap       *Heatmap     `json:"heatmap,omitempty"`
 }
 
 // RunConfig identifies the simulated configuration.
@@ -49,6 +50,29 @@ type RunConfig struct {
 	Instructions uint64 `json:"instructions,omitempty"`
 	// Interval is the sampler's final interval length in accesses.
 	Interval uint64 `json:"interval,omitempty"`
+	// Interrupted marks a run cut short by SIGINT/SIGTERM: totals and
+	// series cover only the accesses simulated before the signal.
+	Interrupted bool `json:"interrupted,omitempty"`
+}
+
+// FaultTotals summarizes a fault-injection run (bcachesim -fault-rate).
+// The CLI fills it from the injector so obs stays independent of the
+// fault package.
+type FaultTotals struct {
+	Rate       float64 `json:"rate"`
+	Protection string  `json:"protection"`
+	Seed       uint64  `json:"seed"`
+	Injected   uint64  `json:"injected"`
+	Silent     uint64  `json:"silent"`
+	Detected   uint64  `json:"detected"`
+	Corrected  uint64  `json:"corrected"`
+	// ScrubPasses/ScrubRepairs count PD scrubber activity; Degraded
+	// reports the cache ended the run in direct-mapped fallback.
+	ScrubPasses  uint64 `json:"scrubPasses"`
+	ScrubRepairs uint64 `json:"scrubRepairs"`
+	Degraded     bool   `json:"degraded"`
+	// Invariant is the final CheckInvariants result ("" = clean).
+	Invariant string `json:"invariant,omitempty"`
 }
 
 // Totals are the run-end aggregate counters.

@@ -123,6 +123,17 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 // Stats(). The inner direct-mapped cache is not probed separately.
 func (c *Cache) SetProbe(p cache.Probe) { c.probe = p }
 
+// StateBits delegates fault injection to the main direct-mapped array,
+// where nearly all of the state (and therefore the soft-error cross
+// section) lives; the small victim buffer is not modelled as a target.
+func (c *Cache) StateBits(d cache.FaultDomain) uint64 { return c.main.StateBits(d) }
+
+// FlipStateBit flips a main-array state bit (see cache.SetAssoc).
+func (c *Cache) FlipStateBit(d cache.FaultDomain, bit uint64) { c.main.FlipStateBit(d, bit) }
+
+// InvalidateSite drops the main-array line owning the bit.
+func (c *Cache) InvalidateSite(d cache.FaultDomain, bit uint64) { c.main.InvalidateSite(d, bit) }
+
 // find returns the buffer slot holding line, or -1.
 func (c *Cache) find(line addr.Addr) int {
 	for i := range c.buf {
