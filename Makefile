@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-robust vet fmt-check ci bench bench-obs bench-perf bench-perf-json clean
+.PHONY: all build test race race-robust vet fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -35,8 +35,19 @@ fmt-check:
 # ci is the full local gate: formatting, vet, build, the focused
 # robustness race gate, and the race-enabled test suite (probes attached
 # under -race is an explicit acceptance criterion of the observability
-# layer).
+# layer). bench-compare runs last as a non-fatal report (leading "-"):
+# kernel throughput on a shared box is too noisy to hard-gate CI, but a
+# >15% regression should be seen.
 ci: fmt-check vet build race-robust race
+	-$(MAKE) bench-compare
+
+# bench-compare replays the perfbench kernels and fails if any kernel's
+# accesses/sec regressed more than 15% against the committed baseline.
+# Uses a reduced access count: enough to get past warm-up on the slow
+# (scan/profiler) kernels without taking the full baseline-regeneration
+# time.
+bench-compare:
+	$(GO) run ./cmd/perfbench -compare BENCH_perf.json -kernel-accesses 10000000
 
 # bench runs the probe-overhead benchmarks (see internal/obs/alloc_test.go
 # for how to read the two levels).

@@ -1,17 +1,27 @@
 // Command perfbench regenerates BENCH_perf.json: the simulation-engine
 // performance baseline tracked across PRs. It measures two things:
 //
-//  1. Kernel throughput (accesses/sec) for the main cache models — the
-//     direct-mapped baseline, 8-way and 512-way set-associative, the
-//     B-Cache at MF=8/BAS=8 on its SWAR path, and the scalar reference
-//     implementation the SWAR kernel is differentially tested against.
+//  1. Kernel throughput (accesses/sec) for the main simulation kernels —
+//     the direct-mapped baseline, 8-way set-associative, the 512-way
+//     fully-associative cache on both its lookups (`512way-full` is the
+//     historical linear-scan row, `fa-hash` the O(1) hash-indexed path
+//     that replaced it), the one-pass multi-geometry stack-distance
+//     profiler (`stackdist`, which answers five LRU shapes per access),
+//     the B-Cache at MF=8/BAS=8 on its SWAR path, and the scalar
+//     reference implementation the SWAR kernel is differentially tested
+//     against.
 //  2. Wall-clock for the full registered experiment suite — what
 //     `cmd/experiments` runs — plus the shared trace cache's hit/miss
 //     counters for that pass.
 //
+// With -compare it instead replays only the kernels and checks them
+// against a committed baseline, exiting non-zero if any kernel's
+// accesses/sec regressed more than 15% — the `make bench-compare` gate.
+//
 // Usage:
 //
 //	perfbench [-n instructions] [-kernel-accesses n] [-o BENCH_perf.json]
+//	perfbench -compare BENCH_perf.json [-kernel-accesses n]
 package main
 
 import (
@@ -26,6 +36,7 @@ import (
 	"bcache/internal/core"
 	"bcache/internal/experiment"
 	"bcache/internal/rng"
+	"bcache/internal/stackdist"
 )
 
 const (
@@ -33,9 +44,12 @@ const (
 	lineBytes = 32
 	// schemaVersion identifies the BENCH_perf.json document layout.
 	schemaVersion = 1
+	// regressLimit is the tolerated fractional accesses/sec loss per
+	// kernel in -compare mode.
+	regressLimit = 0.15
 )
 
-// KernelResult is one cache model's raw replay throughput.
+// KernelResult is one kernel's raw replay throughput.
 type KernelResult struct {
 	Config      string  `json:"config"`
 	Accesses    uint64  `json:"accesses"`
@@ -61,23 +75,56 @@ type Baseline struct {
 	Suite         SuiteResult    `json:"suite"`
 }
 
+// cacheKernel adapts a cache model to the access-closure interface.
+func cacheKernel(build func() (cache.Cache, error)) func() (func(addr.Addr), error) {
+	return func() (func(addr.Addr), error) {
+		c, err := build()
+		if err != nil {
+			return nil, err
+		}
+		return func(a addr.Addr) { c.Access(a, false) }, nil
+	}
+}
+
+// stackdistKernel profiles the five 16kB LRU geometries a figure-spec
+// scheduling unit answers in one pass (ways 1/2/4/8/32).
+func stackdistKernel() (func(addr.Addr), error) {
+	frames := sizeBytes / lineBytes
+	var geoms []stackdist.Geom
+	for _, w := range []int{1, 2, 4, 8, 32} {
+		geoms = append(geoms, stackdist.Geom{Sets: frames / w, Ways: w})
+	}
+	p, err := stackdist.NewProfile(lineBytes, geoms)
+	if err != nil {
+		return nil, err
+	}
+	return p.Access, nil
+}
+
 var configs = []struct {
 	label string
-	build func() (cache.Cache, error)
+	build func() (func(addr.Addr), error)
 }{
-	{"dm", func() (cache.Cache, error) { return cache.NewDirectMapped(sizeBytes, lineBytes) }},
-	{"8way", func() (cache.Cache, error) {
+	{"dm", cacheKernel(func() (cache.Cache, error) { return cache.NewDirectMapped(sizeBytes, lineBytes) })},
+	{"8way", cacheKernel(func() (cache.Cache, error) {
 		return cache.NewSetAssoc(sizeBytes, lineBytes, 8, cache.LRU, rng.New(1))
-	}},
-	{"512way-full", func() (cache.Cache, error) {
+	})},
+	// The historical linear-scan fully-associative row, kept for
+	// trajectory comparison against earlier baselines.
+	{"512way-full", cacheKernel(func() (cache.Cache, error) {
+		return cache.NewSetAssocScan(sizeBytes, lineBytes, sizeBytes/lineBytes, cache.LRU, rng.New(1))
+	})},
+	// The same cache on the O(1) hash-indexed lookup (the default build).
+	{"fa-hash", cacheKernel(func() (cache.Cache, error) {
 		return cache.NewFullyAssoc(sizeBytes, lineBytes, cache.LRU, rng.New(1))
-	}},
-	{"bcache-mf8-bas8", func() (cache.Cache, error) {
+	})},
+	{"stackdist", stackdistKernel},
+	{"bcache-mf8-bas8", cacheKernel(func() (cache.Cache, error) {
 		return core.New(core.Config{SizeBytes: sizeBytes, LineBytes: lineBytes, MF: 8, BAS: 8, Policy: cache.LRU})
-	}},
-	{"bcache-mf8-bas8-ref", func() (cache.Cache, error) {
+	})},
+	{"bcache-mf8-bas8-ref", cacheKernel(func() (cache.Cache, error) {
 		return core.NewReference(core.Config{SizeBytes: sizeBytes, LineBytes: lineBytes, MF: 8, BAS: 8, Policy: cache.LRU})
-	}},
+	})},
 }
 
 func main() {
@@ -85,6 +132,7 @@ func main() {
 		n       = flag.Uint64("n", 2_000_000, "instructions per experiment in the suite pass")
 		kn      = flag.Uint64("kernel-accesses", 50_000_000, "accesses per kernel throughput run")
 		outPath = flag.String("o", "BENCH_perf.json", "output file")
+		cmpPath = flag.String("compare", "", "compare kernel throughput against this baseline instead of writing one")
 	)
 	flag.Parse()
 
@@ -97,6 +145,14 @@ func main() {
 		}
 		doc.Kernels = append(doc.Kernels, r)
 		fmt.Printf("%-20s %12.0f accesses/s\n", cfg.label, r.AccessesSec)
+	}
+
+	if *cmpPath != "" {
+		if err := compareKernels(*cmpPath, doc.Kernels); err != nil {
+			fmt.Fprintln(os.Stderr, "perfbench:", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	suite, err := suiteRun(*n)
@@ -127,9 +183,49 @@ func main() {
 	fmt.Printf("wrote %s\n", *outPath)
 }
 
+// compareKernels checks fresh kernel results against the committed
+// baseline document: any kernel more than regressLimit slower fails.
+// Kernels present on only one side (renamed, newly added) are reported
+// but never fail the gate.
+func compareKernels(path string, fresh []KernelResult) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Baseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	byLabel := make(map[string]KernelResult, len(base.Kernels))
+	for _, k := range base.Kernels {
+		byLabel[k.Config] = k
+	}
+	regressed := 0
+	for _, k := range fresh {
+		b, ok := byLabel[k.Config]
+		if !ok {
+			fmt.Printf("%-20s %12.0f accesses/s  (no baseline)\n", k.Config, k.AccessesSec)
+			continue
+		}
+		delta := k.AccessesSec/b.AccessesSec - 1
+		verdict := "ok"
+		if delta < -regressLimit {
+			verdict = "REGRESSED"
+			regressed++
+		}
+		fmt.Printf("%-20s %12.0f vs %12.0f accesses/s  %+6.1f%%  %s\n",
+			k.Config, k.AccessesSec, b.AccessesSec, 100*delta, verdict)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d kernel(s) regressed more than %.0f%% vs %s", regressed, 100*regressLimit, path)
+	}
+	fmt.Printf("no kernel regressed more than %.0f%% vs %s\n", 100*regressLimit, path)
+	return nil
+}
+
 // kernelRun replays a synthetic conflict-heavy stream and times it.
-func kernelRun(label string, build func() (cache.Cache, error), n uint64) (KernelResult, error) {
-	c, err := build()
+func kernelRun(label string, build func() (func(addr.Addr), error), n uint64) (KernelResult, error) {
+	access, err := build()
 	if err != nil {
 		return KernelResult{}, err
 	}
@@ -140,7 +236,7 @@ func kernelRun(label string, build func() (cache.Cache, error), n uint64) (Kerne
 	}
 	start := time.Now()
 	for i := uint64(0); i < n; i++ {
-		c.Access(addrs[i&8191], false)
+		access(addrs[i&8191])
 	}
 	secs := time.Since(start).Seconds()
 	return KernelResult{

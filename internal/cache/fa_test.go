@@ -1,0 +1,227 @@
+package cache
+
+import (
+	"encoding/binary"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+)
+
+// conflictStream mixes hot reuse, power-of-two striding, and cold sweeps
+// so hit, refill, and eviction paths all run.
+func conflictStream(n int, seed uint64) []addr.Addr {
+	src := rng.New(seed)
+	out := make([]addr.Addr, n)
+	for i := range out {
+		switch src.Intn(3) {
+		case 0:
+			out[i] = addr.Addr(src.Intn(1 << 14)) // resident working set
+		case 1:
+			out[i] = addr.Addr(src.Intn(64)) * (1 << 16) // tag aliases
+		default:
+			out[i] = addr.Addr(src.Intn(1 << 24)) // mostly cold
+		}
+	}
+	return out
+}
+
+// assertSameState compares every observable of two caches that replayed
+// the same stream: full statistics (including per-frame arrays) and tag
+// array / valid / dirty masks.
+func assertSameState(t *testing.T, hash, scan *SetAssoc) {
+	t.Helper()
+	if !reflect.DeepEqual(hash.Stats(), scan.Stats()) {
+		t.Fatalf("stats diverged:\nhash: %+v\nscan: %+v", hash.Stats(), scan.Stats())
+	}
+	if !reflect.DeepEqual(hash.tags, scan.tags) || !reflect.DeepEqual(hash.valid, scan.valid) ||
+		!reflect.DeepEqual(hash.dirty, scan.dirty) {
+		t.Fatal("tag/valid/dirty arrays diverged")
+	}
+}
+
+// TestFAHashVsLinear proves the hash-indexed wide-set path bit-identical
+// to the linear scan across geometries, including per-access Results.
+func TestFAHashVsLinear(t *testing.T) {
+	for _, tc := range []struct{ size, ways int }{
+		{16 * 1024, 64},
+		{16 * 1024, 512}, // fully associative
+		{8 * 1024, 256},  // fully associative at 8kB
+		{32 * 1024, 128},
+	} {
+		t.Run(fmt.Sprintf("%dkB-%dway", tc.size/1024, tc.ways), func(t *testing.T) {
+			hash, err := NewSetAssoc(tc.size, 32, tc.ways, LRU, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hash.idx == nil {
+				t.Fatal("hash index not active")
+			}
+			scan, err := NewSetAssocScan(tc.size, 32, tc.ways, LRU, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if scan.idx != nil {
+				t.Fatal("scan reference has an index")
+			}
+			src := rng.New(1)
+			for i, a := range conflictStream(200000, uint64(tc.size+tc.ways)) {
+				write := src.Intn(4) == 0
+				rh := hash.Access(a, write)
+				rs := scan.Access(a, write)
+				if rh != rs {
+					t.Fatalf("access %d (%#x, write=%v): hash %+v, scan %+v", i, a, write, rh, rs)
+				}
+				if i%4096 == 0 && hash.Contains(a) != scan.Contains(a) {
+					t.Fatalf("access %d: Contains diverged", i)
+				}
+			}
+			assertSameState(t, hash, scan)
+		})
+	}
+}
+
+// TestFAIndexSurvivesReset: Reset keeps the index active and consistent.
+func TestFAIndexSurvivesReset(t *testing.T) {
+	hash, err := NewFullyAssoc(16*1024, 32, LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := NewSetAssocScan(16*1024, 32, 512, LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := conflictStream(50000, 3)
+	for _, a := range stream {
+		hash.Access(a, false)
+		scan.Access(a, false)
+	}
+	hash.Reset()
+	scan.Reset()
+	if hash.idx == nil {
+		t.Fatal("reset dropped the index")
+	}
+	for i, a := range stream {
+		if rh, rs := hash.Access(a, true), scan.Access(a, true); rh != rs {
+			t.Fatalf("post-reset access %d diverged: %+v vs %+v", i, rh, rs)
+		}
+	}
+	assertSameState(t, hash, scan)
+}
+
+// TestFAIndexDropsOnFault: after any fault mutation the indexed cache
+// must continue bit-identically with a scan cache receiving the same
+// mutation — the recency handoff preserves victim order.
+func TestFAIndexDropsOnFault(t *testing.T) {
+	for _, mutate := range []struct {
+		name string
+		do   func(c *SetAssoc)
+	}{
+		{"flip-tag", func(c *SetAssoc) { c.FlipStateBit(FaultTag, 7) }},
+		{"flip-valid", func(c *SetAssoc) { c.FlipStateBit(FaultValid, 100) }},
+		{"invalidate", func(c *SetAssoc) { c.InvalidateSite(FaultDirty, 250) }},
+	} {
+		t.Run(mutate.name, func(t *testing.T) {
+			hash, err := NewFullyAssoc(16*1024, 32, LRU, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scan, err := NewSetAssocScan(16*1024, 32, 512, LRU, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pre := conflictStream(100000, 17)
+			for _, a := range pre {
+				hash.Access(a, a&64 != 0)
+				scan.Access(a, a&64 != 0)
+			}
+			mutate.do(hash)
+			mutate.do(scan)
+			if hash.idx != nil {
+				t.Fatal("fault mutation left the index active")
+			}
+			for i, a := range conflictStream(100000, 18) {
+				if rh, rs := hash.Access(a, a&32 != 0), scan.Access(a, a&32 != 0); rh != rs {
+					t.Fatalf("post-fault access %d diverged: %+v vs %+v", i, rh, rs)
+				}
+			}
+			assertSameState(t, hash, scan)
+		})
+	}
+}
+
+// FuzzFAHashVsLinear feeds arbitrary byte strings, decoded as an address
+// stream with interleaved write flags and resets, to the hash-indexed
+// fully-associative cache and the linear-scan reference.
+func FuzzFAHashVsLinear(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte("\xff\xff\xff\xff\x00\x00\x00\x00repeat-me-repeat-me"))
+	seed := make([]byte, 0, 9*64)
+	src := rng.New(99)
+	for i := 0; i < 64; i++ {
+		var w [8]byte
+		binary.LittleEndian.PutUint64(w[:], uint64(src.Intn(1<<18)))
+		seed = append(seed, byte(i), w[0], w[1], w[2], w[3], w[4], w[5], w[6], w[7])
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A small FA geometry keeps evictions frequent at fuzz sizes.
+		hash, err := NewSetAssoc(2048, 32, 64, LRU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hash.idx == nil {
+			t.Fatal("hash index not active")
+		}
+		scan, err := NewSetAssocScan(2048, 32, 64, LRU, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+9 <= len(data); i += 9 {
+			op := data[i]
+			a := addr.Addr(binary.LittleEndian.Uint64(data[i+1:i+9])) & addr.Max
+			switch {
+			case op == 0xff:
+				hash.Reset()
+				scan.Reset()
+			default:
+				write := op&1 != 0
+				if rh, rs := hash.Access(a, write), scan.Access(a, write); rh != rs {
+					t.Fatalf("access %d (%#x, write=%v): hash %+v, scan %+v", i/9, a, write, rh, rs)
+				}
+			}
+		}
+		assertSameState(t, hash, scan)
+	})
+}
+
+// BenchmarkFullyAssoc measures the 512-way fully-associative access path
+// on both lookups: the O(1) hash index and the linear scan it replaced.
+func BenchmarkFullyAssoc(b *testing.B) {
+	src := rng.New(5)
+	addrs := make([]addr.Addr, 8192)
+	for i := range addrs {
+		addrs[i] = addr.Addr(src.Intn(1 << 22))
+	}
+	for _, v := range []struct {
+		name  string
+		build func() (*SetAssoc, error)
+	}{
+		{"hash", func() (*SetAssoc, error) { return NewFullyAssoc(16*1024, 32, LRU, nil) }},
+		{"scan", func() (*SetAssoc, error) { return NewSetAssocScan(16*1024, 32, 512, LRU, nil) }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			c, err := v.build()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Access(addrs[i&8191], false)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "accesses/s")
+		})
+	}
+}

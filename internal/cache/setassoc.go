@@ -6,6 +6,7 @@ import (
 
 	"bcache/internal/addr"
 	"bcache/internal/rng"
+	"bcache/internal/stackdist"
 )
 
 // SetAssoc is an N-way set-associative cache with write-allocate,
@@ -18,6 +19,14 @@ import (
 // fully-associative configurations in Table 4) never touch cold frames.
 // Data contents are not simulated; only presence, identity, and
 // dirtiness matter to the functional model.
+//
+// Wide LRU sets additionally carry a hash index (stackdist.Index): a map
+// from tag to the way's node on an intrusive recency list, making both
+// the tag match and the LRU victim search O(1) instead of O(ways). The
+// index is a pure accelerator over the same tag/valid/dirty arrays — it
+// is dropped (with a recency handoff to the per-set policy) the moment
+// fault injection mutates those arrays underneath it, because a flipped
+// tag bit can create aliases a one-entry-per-tag map cannot represent.
 type SetAssoc struct {
 	geom Geometry
 	kind PolicyKind
@@ -43,7 +52,19 @@ type SetAssoc struct {
 	stats    *Stats
 	probe    Probe // nil unless observability is attached
 	name     string
+
+	// idx, when non-nil, holds one hash index per set (LRU sets at or
+	// above faIndexMinWays). While active it is the single source of
+	// recency truth; the per-set lruPolicy stamps stay untouched until
+	// dropIndex hands the order back.
+	idx []*stackdist.Index
 }
+
+// faIndexMinWays is the associativity at which an LRU set gains a hash
+// index. Narrow sets (the paper's 2..32-way sweeps) stay on the bitmask
+// scan, which beats a map at that width; the 512-way fully-associative
+// extreme is ~30× faster indexed.
+const faIndexMinWays = 64
 
 var _ Cache = (*SetAssoc)(nil)
 
@@ -77,6 +98,24 @@ func NewSetAssoc(size, lineBytes, ways int, kind PolicyKind, src *rng.Source) (*
 	for s := range c.policies {
 		c.policies[s] = NewPolicy(kind, ways, src)
 	}
+	if kind == LRU && ways >= faIndexMinWays {
+		c.idx = make([]*stackdist.Index, geom.Sets)
+		for s := range c.idx {
+			c.idx[s] = stackdist.NewIndex(ways)
+		}
+	}
+	return c, nil
+}
+
+// NewSetAssocScan builds the cache with the wide-set hash index disabled
+// unconditionally: the linear-scan reference that differential tests and
+// benchmarks compare the indexed fast path against.
+func NewSetAssocScan(size, lineBytes, ways int, kind PolicyKind, src *rng.Source) (*SetAssoc, error) {
+	c, err := NewSetAssoc(size, lineBytes, ways, kind, src)
+	if err != nil {
+		return nil, err
+	}
+	c.idx = nil
 	return c, nil
 }
 
@@ -108,9 +147,15 @@ func (c *SetAssoc) wordMask(wi int) uint64 {
 	return ^uint64(0)
 }
 
-// findWay returns the way holding tag in set, or -1, scanning valid ways
-// in ascending order.
+// findWay returns the way holding tag in set, or -1 — O(1) through the
+// hash index when present, else scanning valid ways in ascending order.
 func (c *SetAssoc) findWay(set int, tag addr.Addr) int {
+	if c.idx != nil {
+		if n := c.idx[set].Get(tag); n != nil {
+			return int(n.Val)
+		}
+		return -1
+	}
 	base := set * c.geom.Ways
 	mbase := set * c.maskWords
 	for wi := 0; wi < c.maskWords; wi++ {
@@ -128,6 +173,9 @@ func (c *SetAssoc) findWay(set int, tag addr.Addr) int {
 func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 	set := int(a >> c.offBits & c.idxMask)
 	tag := a >> (c.offBits + c.idxBits)
+	if c.idx != nil {
+		return c.accessIndexed(set, tag, write)
+	}
 	base := set * c.geom.Ways
 	mbase := set * c.maskWords
 	pol := c.policies[set]
@@ -180,6 +228,81 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 	return res
 }
 
+// accessIndexed is the Access path for sets carrying a hash index. It
+// maintains the same tag/valid/dirty arrays and statistics as the scan
+// path — only the tag match, the free-way choice, and the victim search
+// change, and each is provably the same decision the scan path makes:
+// ways fill in ascending order (nothing invalidates a line while the
+// index is active), so the next free way is the resident count, and the
+// recency-list tail is the minimum-stamp way the LRU policy would pick.
+func (c *SetAssoc) accessIndexed(set int, tag addr.Addr, write bool) Result {
+	base := set * c.geom.Ways
+	mbase := set * c.maskWords
+	ix := c.idx[set]
+
+	if n := ix.Get(tag); n != nil {
+		w := int(n.Val)
+		ix.Touch(n)
+		if write {
+			c.dirty[mbase+w>>6] |= 1 << (w & 63)
+		}
+		c.stats.Record(base+w, true, write)
+		if c.probe != nil {
+			c.probe.ObserveAccess(base+w, true, write)
+		}
+		return Result{Hit: true, Frame: base + w}
+	}
+
+	var res Result
+	var way int
+	if ix.Len() < c.geom.Ways {
+		way = ix.Len()
+	} else {
+		victim := ix.LRU()
+		way = int(victim.Val)
+		ix.Remove(victim)
+		res.Evicted = true
+		res.EvictedAddr = c.lineAddr(c.tags[base+way], set)
+		res.EvictedDirty = c.dirty[mbase+way>>6]&(1<<(way&63)) != 0
+		c.stats.RecordEviction(res.EvictedDirty)
+		if c.probe != nil {
+			c.probe.ObserveEvict(res.EvictedDirty)
+		}
+	}
+	c.tags[base+way] = tag
+	c.valid[mbase+way>>6] |= 1 << (way & 63)
+	if write {
+		c.dirty[mbase+way>>6] |= 1 << (way & 63)
+	} else {
+		c.dirty[mbase+way>>6] &^= 1 << (way & 63)
+	}
+	ix.Insert(tag, uint64(way))
+	res.Frame = base + way
+	c.stats.Record(base+way, false, write)
+	if c.probe != nil {
+		c.probe.ObserveAccess(base+way, false, write)
+	}
+	return res
+}
+
+// dropIndex permanently disables the hash index, handing each set's
+// recency order to its policy (tail-first Touch replay reproduces the
+// exact stamp order), so the scan path continues bit-identically. Fault
+// injection calls this before mutating state: a flipped tag bit can
+// alias two ways onto one map key, which the index cannot represent.
+func (c *SetAssoc) dropIndex() {
+	if c.idx == nil {
+		return
+	}
+	for set, ix := range c.idx {
+		pol := c.policies[set]
+		for n := ix.LRU(); n != nil; n = ix.Prev(n) {
+			pol.Touch(int(n.Val))
+		}
+	}
+	c.idx = nil
+}
+
 // SetProbe implements Probed. Passing nil detaches.
 func (c *SetAssoc) SetProbe(p Probe) { c.probe = p }
 
@@ -212,6 +335,9 @@ func (c *SetAssoc) Reset() {
 	clear(c.dirty)
 	for _, p := range c.policies {
 		p.Reset()
+	}
+	for _, ix := range c.idx {
+		ix.Reset()
 	}
 	c.stats.Reset()
 }

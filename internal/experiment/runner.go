@@ -11,6 +11,7 @@ import (
 	"bcache/internal/core"
 	"bcache/internal/energy"
 	"bcache/internal/rng"
+	"bcache/internal/stackdist"
 	"bcache/internal/trace"
 	"bcache/internal/victim"
 	"bcache/internal/workload"
@@ -44,6 +45,11 @@ type Opts struct {
 	// up to UnitRetries times with exponential backoff.
 	UnitTimeout time.Duration
 	UnitRetries int
+	// DisableStackDist forces every pure-LRU baseline spec through its
+	// own cache replay instead of the shared one-pass stack-distance
+	// profile. The replay path is the differential oracle the profiler
+	// is tested against; results are bit-identical either way.
+	DisableStackDist bool
 }
 
 // DefaultOpts returns the scale used for EXPERIMENTS.md.
@@ -149,6 +155,11 @@ type Spec struct {
 	Kind energy.Kind
 	// New builds the cache at the given geometry.
 	New func(size, line int) (cache.Cache, error)
+	// LRUWays, when positive, marks the spec as a plain LRU
+	// set-associative cache of that associativity, whose hit/miss
+	// counts the scheduler may derive from a shared stack-distance
+	// profile instead of a dedicated replay (see missRates).
+	LRUWays int
 }
 
 // baselineSpec is the paper's baseline: a direct-mapped cache.
@@ -159,6 +170,7 @@ func baselineSpec() Spec {
 		New: func(size, line int) (cache.Cache, error) {
 			return cache.NewDirectMapped(size, line)
 		},
+		LRUWays: 1,
 	}
 }
 
@@ -169,6 +181,7 @@ func setAssocSpec(ways int, kind energy.Kind) Spec {
 		New: func(size, line int) (cache.Cache, error) {
 			return cache.NewSetAssoc(size, line, ways, cache.LRU, rng.New(1))
 		},
+		LRUWays: ways,
 	}
 }
 
@@ -272,18 +285,79 @@ func unitKey(opts Opts, s side, spec string, seedIdx int, profile string) string
 		s, opts.Instructions, opts.L1Size, opts.LineBytes, spec, seedIdx, profile)
 }
 
+// profileLRU answers every spec in lru (indices into all, each with
+// LRUWays set) for one materialized trace side with a single Mattson
+// stack-distance pass: under LRU's inclusion property an access hits a
+// (sets, ways) cache iff its per-set reuse distance is below ways, so
+// one profile yields the same hit/miss counts a per-spec replay would —
+// bit-identically — at a fraction of the work.
+func profileLRU(at *accessTrace, s side, opts Opts, all []Spec, lru []int) ([]UnitResult, error) {
+	frames := opts.L1Size / opts.LineBytes
+	geoms := make([]stackdist.Geom, len(lru))
+	for x, si := range lru {
+		w := all[si].LRUWays
+		geoms[x] = stackdist.Geom{Sets: frames / w, Ways: w}
+	}
+	prof, err := stackdist.NewProfile(opts.LineBytes, geoms)
+	if err != nil {
+		return nil, err
+	}
+	switch s {
+	case dSide:
+		for _, m := range at.data {
+			prof.Access(m.a)
+		}
+	case iSide:
+		for _, pc := range at.fetch {
+			prof.Access(pc)
+		}
+	}
+	out := make([]UnitResult, len(lru))
+	for x, g := range geoms {
+		misses, err := prof.Misses(g.Sets, g.Ways)
+		if err != nil {
+			return nil, err
+		}
+		out[x] = UnitResult{Misses: misses, Accesses: prof.Accesses()}
+	}
+	return out, nil
+}
+
+// lruSpecIndices partitions all into stack-distance-profileable specs
+// (pure LRU set-associative shapes valid at the run's geometry) and the
+// rest, which replay individually.
+func lruSpecIndices(opts Opts, all []Spec) (lru, replayed []int) {
+	frames := opts.L1Size / opts.LineBytes
+	for si, sp := range all {
+		if !opts.DisableStackDist && sp.LRUWays > 0 && sp.LRUWays <= frames {
+			lru = append(lru, si)
+		} else {
+			replayed = append(replayed, si)
+		}
+	}
+	return lru, replayed
+}
+
 // missRates runs all profiles × (baseline + specs) on one cache side and
 // returns results[profile][specName] plus the baseline under "baseline".
-// The grain scheduled on the worker pool is a single (profile, seed,
-// spec) replay, so runs with fewer benchmarks than cores still saturate
-// the machine; traces are shared through the memoizing cache.
+//
+// Pure-LRU set-associative specs (Spec.LRUWays > 0) are not replayed
+// one cache at a time: each (profile, seed) trace feeds one profiling
+// unit whose single stack-distance pass answers all of them at once
+// (profileLRU). Every other spec — B-Cache, victim, random/FIFO, the
+// related-work designs — replays as its own (profile, seed, spec) unit,
+// and Opts.DisableStackDist forces the LRU specs down that replay path
+// too, which is the differential oracle the profiler is tested against.
+// Units still saturate the machine: the grain is never coarser than one
+// (profile, seed) trace.
 //
 // Failed or interrupted units do not void the run: the returned map
 // holds every profile whose units all completed, alongside the joined
 // error, so callers can render partial results. Units found in
 // opts.Checkpoint are restored instead of re-simulated (bit-identically:
-// the checkpoint stores the raw counters), and completed units are
-// recorded there as they finish.
+// the checkpoint stores the raw counters, and profiled counts equal
+// replayed counts), and completed units are recorded there as they
+// finish under the same per-spec keys either way.
 func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (map[string]map[string]missRun, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -291,39 +365,104 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 	all := append([]Spec{baselineSpec()}, specs...)
 	seeds := opts.seeds()
 	cp := opts.Checkpoint
+	lru, replayed := lruSpecIndices(opts, all)
 
-	// One slot per work unit, written only by its owner's commit
-	// closure on the worker goroutine; reduced below.
+	// jobs: per (profile, seed), one profiling job covering every LRU
+	// spec (specIdx < 0) plus one replay job per remaining spec.
+	type job struct {
+		pi, k   int
+		specIdx int
+	}
+	jobsPerSeed := len(replayed)
+	if len(lru) > 0 {
+		jobsPerSeed++
+	}
+	jobs := make([]job, 0, len(profiles)*seeds*jobsPerSeed)
+	for pi := range profiles {
+		for k := 0; k < seeds; k++ {
+			if len(lru) > 0 {
+				jobs = append(jobs, job{pi, k, -1})
+			}
+			for _, si := range replayed {
+				jobs = append(jobs, job{pi, k, si})
+			}
+		}
+	}
+
+	// One slot per (profile, seed, spec) result, written only by its
+	// owner job's commit closure on the worker goroutine; reduced below.
 	perSeed := seeds * len(all)
 	units := make([]UnitResult, len(profiles)*perSeed)
 	done := make([]bool, len(units))
+	slot := func(pi, k, si int) int { return pi*perSeed + k*len(all) + si }
 	uo := unitOpts{Timeout: opts.UnitTimeout, Retries: opts.UnitRetries}
-	err := runUnitsCtl(len(units), opts.workers(), uo, func(i int) (func(), error) {
-		p := profiles[i/perSeed]
-		k := i % perSeed / len(all)
-		spec := all[i%len(all)]
-		key := unitKey(opts, s, spec.Name, k, p.Name)
-		if u, ok := cp.Lookup(key); ok {
-			return func() { units[i], done[i] = u, true }, nil
+	err := runUnitsCtl(len(jobs), opts.workers(), uo, func(i int) (func(), error) {
+		j := jobs[i]
+		p := profiles[j.pi]
+		if j.specIdx >= 0 {
+			// Replay job: one cache, one spec.
+			spec := all[j.specIdx]
+			key := unitKey(opts, s, spec.Name, j.k, p.Name)
+			idx := slot(j.pi, j.k, j.specIdx)
+			if u, ok := cp.Lookup(key); ok {
+				return func() { units[idx], done[idx] = u, true }, nil
+			}
+			at, err := cachedTrace(opts, withSeed(p, j.k))
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", p.Name, err)
+			}
+			c, err := spec.New(opts.L1Size, opts.LineBytes)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
+			}
+			replay(at, c, s)
+			st := c.Stats()
+			u := UnitResult{Misses: st.Misses, Accesses: st.Accesses}
+			if bc, ok := c.(*core.BCache); ok {
+				pd := bc.PDStats()
+				u.PDHit, u.PDMiss = pd.MissPDHit, pd.MissPDMiss
+			}
+			return func() {
+				units[idx], done[idx] = u, true
+				cp.Record(key, u)
+			}, nil
 		}
-		at, err := cachedTrace(opts, withSeed(p, k))
+
+		// Profiling job: one stack-distance pass, every LRU spec.
+		keys := make([]string, len(lru))
+		restored := make([]UnitResult, len(lru))
+		allHit := true
+		for x, si := range lru {
+			keys[x] = unitKey(opts, s, all[si].Name, j.k, p.Name)
+			u, ok := cp.Lookup(keys[x])
+			if !ok {
+				allHit = false
+				break
+			}
+			restored[x] = u
+		}
+		if allHit {
+			return func() {
+				for x, si := range lru {
+					idx := slot(j.pi, j.k, si)
+					units[idx], done[idx] = restored[x], true
+				}
+			}, nil
+		}
+		at, err := cachedTrace(opts, withSeed(p, j.k))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
-		c, err := spec.New(opts.L1Size, opts.LineBytes)
+		res, err := profileLRU(at, s, opts, all, lru)
 		if err != nil {
-			return nil, fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
-		}
-		replay(at, c, s)
-		st := c.Stats()
-		u := UnitResult{Misses: st.Misses, Accesses: st.Accesses}
-		if bc, ok := c.(*core.BCache); ok {
-			pd := bc.PDStats()
-			u.PDHit, u.PDMiss = pd.MissPDHit, pd.MissPDMiss
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
 		return func() {
-			units[i], done[i] = u, true
-			cp.Record(key, u)
+			for x, si := range lru {
+				idx := slot(j.pi, j.k, si)
+				units[idx], done[idx] = res[x], true
+				cp.Record(keys[x], res[x])
+			}
 		}, nil
 	})
 

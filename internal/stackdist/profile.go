@@ -1,0 +1,89 @@
+package stackdist
+
+import (
+	"fmt"
+
+	"bcache/internal/addr"
+)
+
+// Geom names one LRU cache shape a Profile must answer: a power-of-two
+// set count and an associativity. Capacity is Sets*Ways lines.
+type Geom struct {
+	Sets int
+	Ways int
+}
+
+// Profile profiles one address stream at several set-index
+// granularities simultaneously, deriving hit/miss counts for every
+// requested LRU (sets, ways) geometry — and any smaller associativity at
+// the same set counts — from a single pass. Geometries sharing a set
+// count share one Profiler.
+type Profile struct {
+	lineShift uint
+	profs     []*Profiler // ascending by set count
+	bySets    map[int]*Profiler
+	total     uint64
+}
+
+// NewProfile builds a profile for streams of byte addresses with the
+// given line size, able to answer every geometry in geoms.
+func NewProfile(lineBytes int, geoms []Geom) (*Profile, error) {
+	if lineBytes <= 0 || !addr.IsPow2(uint64(lineBytes)) {
+		return nil, fmt.Errorf("stackdist: line size %d is not a positive power of two", lineBytes)
+	}
+	if len(geoms) == 0 {
+		return nil, fmt.Errorf("stackdist: no geometries")
+	}
+	maxWays := map[int]int{}
+	for _, g := range geoms {
+		if g.Ways <= 0 {
+			return nil, fmt.Errorf("stackdist: non-positive ways %d", g.Ways)
+		}
+		if g.Ways > maxWays[g.Sets] {
+			maxWays[g.Sets] = g.Ways
+		}
+	}
+	p := &Profile{
+		lineShift: addr.Log2(uint64(lineBytes)),
+		bySets:    make(map[int]*Profiler, len(maxWays)),
+	}
+	for sets, ways := range maxWays {
+		pr, err := NewProfiler(sets, ways)
+		if err != nil {
+			return nil, err
+		}
+		p.bySets[sets] = pr
+	}
+	for sets := 1; ; sets *= 2 {
+		if pr, ok := p.bySets[sets]; ok {
+			p.profs = append(p.profs, pr)
+			if len(p.profs) == len(p.bySets) {
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+// Access records one byte-address access with every profiler.
+func (p *Profile) Access(a addr.Addr) {
+	block := a >> p.lineShift
+	p.total++
+	for _, pr := range p.profs {
+		pr.Access(block)
+	}
+}
+
+// Accesses returns the number of recorded accesses.
+func (p *Profile) Accesses() uint64 { return p.total }
+
+// Misses returns the miss count a (sets, ways) LRU cache would record
+// over the profiled stream. The set count must be one of the profiled
+// granularities and ways within its tracked range.
+func (p *Profile) Misses(sets, ways int) (uint64, error) {
+	pr, ok := p.bySets[sets]
+	if !ok {
+		return 0, fmt.Errorf("stackdist: set count %d was not profiled", sets)
+	}
+	return pr.Misses(ways)
+}

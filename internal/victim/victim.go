@@ -5,7 +5,7 @@
 // On a main-cache miss the buffer is probed; on a buffer hit the line is
 // swapped back into the main cache (an extra cycle in hardware — the
 // timing model charges it). Lines displaced from the main cache fall into
-// the buffer, which evicts LRU.
+// the buffer, which evicts the oldest-inserted line.
 package victim
 
 import (
@@ -13,33 +13,34 @@ import (
 
 	"bcache/internal/addr"
 	"bcache/internal/cache"
+	"bcache/internal/stackdist"
 )
 
 // Cache is a direct-mapped cache plus victim buffer. It implements
 // cache.Cache; Stats() reports the combined hit/miss behaviour (a buffer
 // hit counts as a hit).
+//
+// The buffer is a stackdist.Index: a hash map from line address to a
+// node on an intrusive insertion-order list, so the probe and the
+// eviction choice are O(1) instead of O(entries). Entries are never
+// recency-touched — a buffer hit removes the line (it moves back into
+// the main cache) — so the list's LRU end is the oldest insertion,
+// exactly the victim the previous stamp-scan implementation picked.
 type Cache struct {
-	main  *cache.SetAssoc
-	buf   []entry
-	clock uint64
-	stats *cache.Stats
-	probe cache.Probe // nil unless observability is attached
+	main    *cache.SetAssoc
+	buf     *stackdist.Index
+	entries int
+	stats   *cache.Stats
+	probe   cache.Probe // nil unless observability is attached
 	// BufferHits counts hits served from the victim buffer; these take
 	// an extra cycle when the buffer is probed after the main cache.
 	BufferHits uint64
 }
 
-type entry struct {
-	valid bool
-	dirty bool
-	line  addr.Addr // line-aligned address
-	stamp uint64
-}
-
 var _ cache.Cache = (*Cache)(nil)
 
 // New builds a direct-mapped size/lineBytes cache with an entries-line
-// fully-associative LRU victim buffer.
+// fully-associative victim buffer.
 func New(size, lineBytes, entries int) (*Cache, error) {
 	if entries <= 0 {
 		return nil, fmt.Errorf("victim: non-positive buffer size %d", entries)
@@ -49,14 +50,15 @@ func New(size, lineBytes, entries int) (*Cache, error) {
 		return nil, err
 	}
 	return &Cache{
-		main:  main,
-		buf:   make([]entry, entries),
-		stats: cache.NewStats(main.Geometry().Frames),
+		main:    main,
+		buf:     stackdist.NewIndex(entries),
+		entries: entries,
+		stats:   cache.NewStats(main.Geometry().Frames),
 	}, nil
 }
 
 // Entries returns the victim buffer capacity in lines.
-func (c *Cache) Entries() int { return len(c.buf) }
+func (c *Cache) Entries() int { return c.entries }
 
 // Access implements cache.Cache.
 func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
@@ -74,17 +76,15 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 	}
 
 	// Main miss: probe the buffer.
-	if i := c.find(line); i >= 0 {
+	if n := c.buf.Get(line); n != nil {
 		// Swap: the buffered line moves into the main cache and the
-		// displaced main line takes its buffer slot.
+		// displaced main line takes its place in the buffer.
 		c.BufferHits++
-		bufDirty := c.buf[i].dirty
+		bufDirty := n.Val != 0
+		c.buf.Remove(n)
 		r := c.main.Access(a, write || bufDirty)
 		if r.Evicted {
-			c.clock++
-			c.buf[i] = entry{valid: true, dirty: r.EvictedDirty, line: r.EvictedAddr, stamp: c.clock}
-		} else {
-			c.buf[i] = entry{}
+			c.insert(r.EvictedAddr, r.EvictedDirty)
 		}
 		c.stats.Record(frame, true, write)
 		if c.probe != nil {
@@ -100,14 +100,14 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 	r := c.main.Access(a, write)
 	res := cache.Result{Hit: false, Frame: r.Frame}
 	if r.Evicted {
-		if ev := c.insert(r.EvictedAddr, r.EvictedDirty); ev.valid {
-			// The buffer's LRU line leaves the hierarchy level entirely.
+		if evLine, evDirty, evicted := c.insert(r.EvictedAddr, r.EvictedDirty); evicted {
+			// The buffer's oldest line leaves the hierarchy level entirely.
 			res.Evicted = true
-			res.EvictedAddr = ev.line
-			res.EvictedDirty = ev.dirty
-			c.stats.RecordEviction(ev.dirty)
+			res.EvictedAddr = evLine
+			res.EvictedDirty = evDirty
+			c.stats.RecordEviction(evDirty)
 			if c.probe != nil {
-				c.probe.ObserveEvict(ev.dirty)
+				c.probe.ObserveEvict(evDirty)
 			}
 		}
 	}
@@ -134,36 +134,20 @@ func (c *Cache) FlipStateBit(d cache.FaultDomain, bit uint64) { c.main.FlipState
 // InvalidateSite drops the main-array line owning the bit.
 func (c *Cache) InvalidateSite(d cache.FaultDomain, bit uint64) { c.main.InvalidateSite(d, bit) }
 
-// find returns the buffer slot holding line, or -1.
-func (c *Cache) find(line addr.Addr) int {
-	for i := range c.buf {
-		if c.buf[i].valid && c.buf[i].line == line {
-			return i
-		}
+// insert places a displaced line into the buffer, evicting the oldest
+// entry when full; evicted reports whether a valid line was displaced.
+func (c *Cache) insert(line addr.Addr, dirty bool) (evLine addr.Addr, evDirty, evicted bool) {
+	if c.buf.Len() == c.entries {
+		old := c.buf.LRU()
+		evLine, evDirty, evicted = old.Key, old.Val != 0, true
+		c.buf.Remove(old)
 	}
-	return -1
-}
-
-// insert places a displaced line into the buffer, returning the entry it
-// displaced (possibly invalid).
-func (c *Cache) insert(line addr.Addr, dirty bool) entry {
-	slot := 0
-	for i := range c.buf {
-		if !c.buf[i].valid {
-			slot = i
-			break
-		}
-		if c.buf[i].stamp < c.buf[slot].stamp {
-			slot = i
-		}
+	var val uint64
+	if dirty {
+		val = 1
 	}
-	old := c.buf[slot]
-	c.clock++
-	c.buf[slot] = entry{valid: true, dirty: dirty, line: line, stamp: c.clock}
-	if !old.valid {
-		return entry{}
-	}
-	return old
+	c.buf.Insert(line, val)
+	return evLine, evDirty, evicted
 }
 
 // Contains implements cache.Cache (main cache or buffer).
@@ -171,7 +155,7 @@ func (c *Cache) Contains(a addr.Addr) bool {
 	if c.main.Contains(a) {
 		return true
 	}
-	return c.find(addr.Align(a, uint64(c.main.Geometry().LineBytes))) >= 0
+	return c.buf.Get(addr.Align(a, uint64(c.main.Geometry().LineBytes))) != nil
 }
 
 // Stats implements cache.Cache.
@@ -182,16 +166,13 @@ func (c *Cache) Geometry() cache.Geometry { return c.main.Geometry() }
 
 // Name implements cache.Cache.
 func (c *Cache) Name() string {
-	return fmt.Sprintf("%dkB-dm+victim%d", c.main.Geometry().SizeBytes/1024, len(c.buf))
+	return fmt.Sprintf("%dkB-dm+victim%d", c.main.Geometry().SizeBytes/1024, c.entries)
 }
 
 // Reset implements cache.Cache.
 func (c *Cache) Reset() {
 	c.main.Reset()
-	for i := range c.buf {
-		c.buf[i] = entry{}
-	}
-	c.clock = 0
+	c.buf.Reset()
 	c.BufferHits = 0
 	c.stats.Reset()
 }
