@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-robust vet fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare clean
+.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -19,6 +19,28 @@ race:
 vet:
 	$(GO) vet ./...
 
+# LINTBIN is the built project linter; `go vet -vettool=` needs a real
+# executable (and an absolute path), not `go run`.
+LINTBIN := bin/bcachelint
+
+lint-build:
+	$(GO) build -o $(LINTBIN) ./cmd/bcachelint
+
+# lint runs the four project analyzers (determinism, probesafe,
+# oraclepair, statjson; see DESIGN.md §12) twice over the tree:
+# standalone — whole-module load, widest compilations, which catches a
+# package whose test files were deleted wholesale — and through
+# `go vet -vettool=`, exercising the unitchecker protocol the go command
+# drives. Suppressions use //bcachelint:allow analyzer(reason).
+lint: lint-build
+	$(LINTBIN) ./...
+	$(GO) vet -vettool=$(abspath $(LINTBIN)) ./...
+
+# lint-fix prints the findings to work through, grouped by analyzer with
+# file:line links; it never fails the build.
+lint-fix: lint-build
+	-$(LINTBIN) -group ./...
+
 # race-robust is the focused race gate for the crash-safety layer: the
 # unit scheduler, checkpoint, and fault injector do real concurrent
 # mutation, so they get their own fast gate ahead of the full race run.
@@ -32,13 +54,14 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the full local gate: formatting, vet, build, the focused
-# robustness race gate, and the race-enabled test suite (probes attached
-# under -race is an explicit acceptance criterion of the observability
-# layer). bench-compare runs last as a non-fatal report (leading "-"):
-# kernel throughput on a shared box is too noisy to hard-gate CI, but a
-# >15% regression should be seen.
-ci: fmt-check vet build race-robust race
+# ci is the full local gate: formatting, vet, the project linters,
+# build, the focused robustness race gate, and the race-enabled test
+# suite (probes attached under -race is an explicit acceptance criterion
+# of the observability layer). lint is fatal: a finding without a
+# justified //bcachelint:allow fails CI. bench-compare runs last as a
+# non-fatal report (leading "-"): kernel throughput on a shared box is
+# too noisy to hard-gate CI, but a >15% regression should be seen.
+ci: fmt-check vet lint build race-robust race
 	-$(MAKE) bench-compare
 
 # bench-compare replays the perfbench kernels and fails if any kernel's

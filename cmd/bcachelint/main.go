@@ -1,0 +1,121 @@
+// Command bcachelint is the repo's static-analysis multichecker: four
+// project-specific analyzers (determinism, probesafe, oraclepair,
+// statjson — see internal/lint) that machine-check the invariants the
+// paper reproduction's credibility rests on.
+//
+// Standalone mode type-checks and analyzes package patterns:
+//
+//	bcachelint ./...
+//	bcachelint -group ./...      # findings grouped by analyzer
+//
+// It also speaks the `go vet -vettool=` protocol, so the same binary
+// runs under the go command's vet driver:
+//
+//	go vet -vettool=$(pwd)/bin/bcachelint ./...
+//
+// Exit status: 0 clean, 1 findings or usage error, 2 internal failure
+// (vet mode follows the unitchecker convention instead: 2 = findings).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bcache/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Vet-driver invocations are recognizable before flag parsing: the
+	// -V=full/-flags handshakes, or a single *.cfg argument.
+	if isVetInvocation(args) {
+		return lint.UnitcheckerMain("bcachelint", args, lint.All())
+	}
+
+	fs := flag.NewFlagSet("bcachelint", flag.ContinueOnError)
+	group := fs.Bool("group", false, "group findings by analyzer instead of position order")
+	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: bcachelint [-group] [-analyzers] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "Runs the project analyzers over the packages (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var diags []lint.Diagnostic
+	for _, p := range pkgs {
+		d, err := p.RunAnalyzers(lint.All())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		diags = append(diags, d...)
+	}
+	lint.SortDiagnostics(diags)
+	diags = lint.DedupDiagnostics(diags)
+	if len(diags) == 0 {
+		return 0
+	}
+	if *group {
+		printGrouped(diags)
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "bcachelint: %d finding(s)\n", len(diags))
+	return 1
+}
+
+// printGrouped renders findings grouped by analyzer with file:line
+// links, the `make lint-fix` triage view.
+func printGrouped(diags []lint.Diagnostic) {
+	order := []string{}
+	byAnalyzer := map[string][]lint.Diagnostic{}
+	for _, d := range diags {
+		if _, ok := byAnalyzer[d.Analyzer]; !ok {
+			order = append(order, d.Analyzer)
+		}
+		byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], d)
+	}
+	for _, name := range order {
+		ds := byAnalyzer[name]
+		fmt.Printf("== %s (%d) ==\n", name, len(ds))
+		for _, d := range ds {
+			fmt.Printf("  %s:%d:%d  %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+		}
+		fmt.Println()
+	}
+}
+
+// isVetInvocation detects the go command's vettool calling convention.
+func isVetInvocation(args []string) bool {
+	for _, a := range args {
+		if a == "-V=full" || a == "--V=full" || a == "-flags" || a == "--flags" {
+			return true
+		}
+	}
+	return len(args) == 1 && strings.HasSuffix(args[0], ".cfg")
+}

@@ -1,0 +1,120 @@
+// Package analysistest runs a single analyzer over fixture packages
+// under testdata/src and checks its diagnostics against // want
+// comments, the same contract as x/tools/go/analysis/analysistest
+// (reimplemented on the standard library because the build environment
+// is offline).
+//
+// A want comment holds one or more quoted regular expressions and binds
+// to its own source line:
+//
+//	time.Now() // want `wall-clock`
+//	x, y = f() // want "first finding" "second finding"
+//
+// Every diagnostic on a line must be matched by exactly one want
+// pattern on that line and vice versa; unmatched diagnostics and
+// unmatched patterns both fail the test. Directive-hygiene findings
+// (analyzer "directive") participate like any other diagnostic, so
+// fixtures can also pin the stale/missing-reason behaviour.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bcache/internal/lint"
+)
+
+// Run loads the packages matching patterns (typically
+// "./testdata/src/<analyzer>/...") and checks a's diagnostics against
+// the fixtures' want comments.
+func Run(t *testing.T, a *lint.Analyzer, patterns ...string) {
+	t.Helper()
+	pkgs, err := lint.Load("", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("no packages match %v", patterns)
+	}
+	for _, pkg := range pkgs {
+		diags, err := pkg.RunAnalyzers([]*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath(), err)
+		}
+		checkWants(t, pkg.FileNames(), diags)
+	}
+}
+
+// wantRe matches the trailing want clause of a line; patterns are
+// double-quoted or backquoted Go strings.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// patRe extracts the individual quoted patterns of a want clause.
+var patRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// checkWants compares diagnostics against the want comments of files.
+func checkWants(t *testing.T, files []string, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			pats := patRe.FindAllString(m[1], -1)
+			if len(pats) == 0 {
+				t.Errorf("%s:%d: want comment with no quoted pattern", name, i+1)
+				continue
+			}
+			for _, p := range pats {
+				unq, err := strconv.Unquote(p)
+				if err != nil {
+					t.Errorf("%s:%d: bad want pattern %s: %v", name, i+1, p, err)
+					continue
+				}
+				re, err := regexp.Compile(unq)
+				if err != nil {
+					t.Errorf("%s:%d: bad want regexp %q: %v", name, i+1, unq, err)
+					continue
+				}
+				wants = append(wants, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+
+	for _, d := range diags {
+		text := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(text) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d.String())
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}

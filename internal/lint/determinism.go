@@ -1,0 +1,264 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces bit-reproducible simulation inside internal/
+// packages: the paper's miss-rate tables are only checkable if two runs
+// of the same configuration produce identical numbers, so nothing under
+// internal/ may consume wall-clock time or the global math/rand stream
+// (internal/rng's seeded SplitMix64/xoshiro256** is the sanctioned
+// randomness), and no map iteration may leak Go's randomized order into
+// rendered rows, builders, writers, or JSON.
+//
+// Flagged:
+//   - importing math/rand or math/rand/v2
+//   - calling time.Now, time.Since, time.Tick, time.After, or
+//     time.NewTicker
+//   - a `range` over a map whose body emits in iteration order: calls
+//     append, assigns through an index expression into a slice, writes
+//     to a Builder/Buffer/Writer/Encoder (Write*, Encode, Fprint*,
+//     Print*), or calls Table.AddRow
+//
+// The canonical remedies pass without annotation: collecting into a
+// slice that is sorted later in the same function (`for k := range m {
+// keys = append(keys, k) }; sort.Strings(keys)`) is recognized, and a
+// loop that ranges over the sorted slice indexing the map never ranges
+// the map at all. Genuinely order-independent emission (and wall-clock
+// use that never reaches results, e.g. retry backoff) is suppressed
+// line-by-line with //bcachelint:allow determinism(reason).
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag wall-clock, global math/rand, and map-iteration-order leaks inside internal/ packages",
+	Run:  runDeterminism,
+}
+
+// determinismAllowedPkgs are internal packages exempt from the pass:
+// the linter itself reports to humans, not to simulation results.
+var determinismAllowedPkgs = []string{
+	"bcache/internal/lint",
+}
+
+// determinismInScope reports whether the pass's package is subject to
+// the determinism invariant. Fixture packages under testdata/src are
+// always in scope — that is what they exist to exercise.
+func determinismInScope(path string) bool {
+	if strings.Contains(path, "/testdata/src/") {
+		return true
+	}
+	if !strings.Contains(path, "internal/") {
+		return false
+	}
+	for _, allowed := range determinismAllowedPkgs {
+		if path == allowed || strings.HasPrefix(path, allowed+"/") {
+			return false
+		}
+	}
+	return true
+}
+
+// bannedTimeFuncs are the wall-clock entry points that make a
+// simulation's output depend on when it ran.
+var bannedTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Tick":      true,
+	"After":     true,
+	"NewTicker": true,
+}
+
+// emitMethods are method names through which a loop body emits results
+// in iteration order (strings.Builder, bytes.Buffer, io.Writer,
+// json.Encoder, csv.Writer, experiment.Table).
+var emitMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+	"Encode":      true,
+	"AddRow":      true,
+}
+
+func runDeterminism(pass *Pass) error {
+	if !determinismInScope(pass.BasePkgPath()) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, imp := range file.Imports {
+			switch strings.Trim(imp.Path.Value, `"`) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(imp.Pos(), "import of %s: internal packages must draw randomness from the seeded internal/rng stream", imp.Path.Value)
+			}
+		}
+		inspectWithStack(file, func(n ast.Node, stack []ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pkg, name := pkgFuncCall(pass, n); pkg == "time" && bannedTimeFuncs[name] {
+					pass.Reportf(n.Pos(), "call to time.%s: wall-clock input makes simulation output non-reproducible", name)
+				}
+			case *ast.RangeStmt:
+				checkMapRangeEmit(pass, n, stack)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pkgFuncCall resolves call to a package-level function reference,
+// returning the package name ("time") and function name, or "", "".
+func pkgFuncCall(pass *Pass, call *ast.CallExpr) (string, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	if pkgName, ok := pass.Info.Uses[ident].(*types.PkgName); ok {
+		return pkgName.Imported().Path(), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// checkMapRangeEmit flags a range over a map whose body emits output in
+// iteration order, unless every emission is an append into a slice that
+// the same function sorts after the loop (the canonical collect-keys
+// pattern).
+func checkMapRangeEmit(pass *Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	t := pass.Info.TypeOf(rs.X)
+	if t == nil {
+		return
+	}
+	if _, isMap := t.Underlying().(*types.Map); !isMap {
+		return
+	}
+	fnBody := enclosingFuncBody(stack)
+	for _, e := range findOrderedEmits(pass, rs.Body) {
+		if e.appendTarget != "" && fnBody != nil && sortedAfter(pass, fnBody, rs.End(), e.appendTarget) {
+			continue
+		}
+		line := pass.Fset.Position(e.at.Pos()).Line
+		pass.Reportf(rs.For, "range over map emits per-iteration output (%s at line %d): iteration order leaks into results; sort the keys (or the collected slice) before emitting", e.desc, line)
+		return
+	}
+}
+
+// orderedEmit is one order-sensitive emission inside a map-range body.
+type orderedEmit struct {
+	desc string
+	at   ast.Node
+	// appendTarget is the printed form of the slice an append writes to
+	// ("out" in out = append(out, e)), "" for non-append emissions.
+	appendTarget string
+}
+
+// findOrderedEmits collects the order-sensitive emissions inside body.
+func findOrderedEmits(pass *Pass, body *ast.BlockStmt) []orderedEmit {
+	var emits []orderedEmit
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+					return true // reported via the enclosing AssignStmt
+				}
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && emitMethods[sel.Sel.Name] {
+				// Only count it as an emission when the receiver is a
+				// value (writer/builder/encoder), not a package: a
+				// package-level function named Write would be odd but
+				// is not the pattern this targets.
+				if recv, ok := sel.X.(*ast.Ident); !ok || pass.Info.Uses[recv] == nil || !isPkgName(pass, recv) {
+					emits = append(emits, orderedEmit{desc: sel.Sel.Name + " call", at: n})
+				}
+			}
+			if pkg, name := pkgFuncCall(pass, n); pkg == "fmt" && (strings.HasPrefix(name, "Fprint") || strings.HasPrefix(name, "Print")) {
+				emits = append(emits, orderedEmit{desc: "fmt." + name, at: n})
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				target := ""
+				if i < len(n.Lhs) {
+					target = exprString(n.Lhs[i])
+				}
+				emits = append(emits, orderedEmit{desc: "append", at: n, appendTarget: target})
+			}
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if xt := pass.Info.TypeOf(ix.X); xt != nil {
+					if _, isSlice := xt.Underlying().(*types.Slice); isSlice {
+						emits = append(emits, orderedEmit{desc: "slice element write", at: n})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return emits
+}
+
+// enclosingFuncBody returns the body of the innermost function literal
+// or declaration in stack.
+func enclosingFuncBody(stack []ast.Node) *ast.BlockStmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch fn := stack[i].(type) {
+		case *ast.FuncDecl:
+			return fn.Body
+		case *ast.FuncLit:
+			return fn.Body
+		}
+	}
+	return nil
+}
+
+// sortedAfter reports whether fnBody contains, after pos, a call into
+// package sort or slices that mentions target — the collect-then-sort
+// idiom that makes an in-loop append order-independent.
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, pos token.Pos, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		if pkg, _ := pkgFuncCall(pass, call); pkg != "sort" && pkg != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(exprString(arg), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func isPkgName(pass *Pass, id *ast.Ident) bool {
+	_, ok := pass.Info.Uses[id].(*types.PkgName)
+	return ok
+}

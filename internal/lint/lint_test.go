@@ -1,0 +1,81 @@
+package lint_test
+
+import (
+	"testing"
+
+	"bcache/internal/lint"
+	"bcache/internal/lint/analysistest"
+)
+
+// The fixture packages live under testdata/src so the repo-wide lint
+// run (`go list ./...` skips testdata) never sees their seeded
+// violations; each test loads them explicitly.
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, lint.Determinism, "./testdata/src/determinism/...")
+}
+
+func TestProbeSafe(t *testing.T) {
+	analysistest.Run(t, lint.ProbeSafe, "./testdata/src/probesafe/...")
+}
+
+func TestStatJSON(t *testing.T) {
+	analysistest.Run(t, lint.StatJSON, "./testdata/src/statjson/...")
+}
+
+// TestOraclePair swaps in a fixture manifest: the good package keeps
+// both twins and its differential test, the bad package has lost its
+// oracle, one declared test, and the surviving test's oracle reference.
+func TestOraclePair(t *testing.T) {
+	defer func(old []lint.Pair) { lint.Manifest = old }(lint.Manifest)
+	lint.Manifest = []lint.Pair{
+		{
+			Name:        "good-pair",
+			Why:         "fixture",
+			Pkg:         "testdata/src/oraclepair/good",
+			Fast:        "Fast",
+			Oracle:      "Oracle",
+			TestPackage: "testdata/src/oraclepair/good",
+			Tests:       []string{"TestFastMatchesOracle"},
+		},
+		{
+			Name:        "bad-pair",
+			Why:         "fixture",
+			Pkg:         "testdata/src/oraclepair/bad",
+			Fast:        "Fast",
+			Oracle:      "Oracle",
+			TestPackage: "testdata/src/oraclepair/bad",
+			Tests:       []string{"TestGone", "TestIgnoresOracle"},
+		},
+	}
+	analysistest.Run(t, lint.OraclePair, "./testdata/src/oraclepair/...")
+}
+
+// TestRepoTreeClean asserts the zero-findings invariant the ci target
+// depends on: every pre-existing finding in the tree is fixed or
+// carries a justified //bcachelint:allow. New violations fail here as
+// well as in `make lint`.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-type-checks the whole module; skipped in -short")
+	}
+	pkgs, err := lint.Load("../..", "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	var all []lint.Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := pkg.RunAnalyzers(lint.All())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.PkgPath(), err)
+		}
+		all = append(all, diags...)
+	}
+	lint.SortDiagnostics(all)
+	for _, d := range lint.DedupDiagnostics(all) {
+		t.Errorf("finding: %s", d.String())
+	}
+}

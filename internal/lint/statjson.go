@@ -1,0 +1,186 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// StatJSON guards the consumer contract of the schema-versioned report
+// artifacts (obs.Report, experiment.Document, the checkpoint and bench
+// baselines): every exported field of a struct that reaches
+// encoding/json must carry an explicit json tag — field names are API,
+// not an accident of Go identifier casing — and no two fields of a
+// struct may collide case-insensitively, because encoding/json matches
+// decoder keys case-insensitively and would silently fill the wrong
+// field.
+//
+// At every call of json.Marshal/MarshalIndent/Unmarshal and
+// (*json.Encoder).Encode / (*json.Decoder).Decode, the analyzer
+// resolves the payload's static type and checks every reachable named
+// struct defined in this module (following pointers, slices, arrays,
+// maps, and nested/embedded structs). Findings anchor to the field when
+// the struct is declared in the analyzed package, else to the call
+// site.
+var StatJSON = &Analyzer{
+	Name: "statjson",
+	Doc:  "structs reaching encoding/json carry explicit tags and no case-insensitive field collisions",
+	Run:  runStatJSON,
+}
+
+func runStatJSON(pass *Pass) error {
+	seen := map[*types.Named]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			arg := jsonPayloadArg(pass, call)
+			if arg == nil {
+				return true
+			}
+			t := pass.Info.TypeOf(arg)
+			if t == nil {
+				return true
+			}
+			checkJSONType(pass, call, t, seen)
+			return true
+		})
+	}
+	return nil
+}
+
+// jsonPayloadArg returns the payload argument of an encoding/json call,
+// or nil if call is not one.
+func jsonPayloadArg(pass *Pass, call *ast.CallExpr) ast.Expr {
+	if len(call.Args) == 0 {
+		return nil
+	}
+	if pkg, name := pkgFuncCall(pass, call); pkg == "encoding/json" {
+		switch name {
+		case "Marshal", "MarshalIndent", "Unmarshal":
+			// Unmarshal's payload is its second argument.
+			if name == "Unmarshal" {
+				if len(call.Args) < 2 {
+					return nil
+				}
+				return call.Args[1]
+			}
+			return call.Args[0]
+		}
+		return nil
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if sel.Sel.Name != "Encode" && sel.Sel.Name != "Decode" {
+		return nil
+	}
+	recv := pass.Info.TypeOf(sel.X)
+	if recv == nil {
+		return nil
+	}
+	s := recv.String()
+	if s == "*encoding/json.Encoder" || s == "*encoding/json.Decoder" {
+		return call.Args[0]
+	}
+	return nil
+}
+
+// checkJSONType walks t for module-defined struct types and validates
+// their fields. seen dedupes across call sites in the package.
+func checkJSONType(pass *Pass, call *ast.CallExpr, t types.Type, seen map[*types.Named]bool) {
+	switch t := t.(type) {
+	case *types.Pointer:
+		checkJSONType(pass, call, t.Elem(), seen)
+	case *types.Slice:
+		checkJSONType(pass, call, t.Elem(), seen)
+	case *types.Array:
+		checkJSONType(pass, call, t.Elem(), seen)
+	case *types.Map:
+		checkJSONType(pass, call, t.Elem(), seen)
+	case *types.Named:
+		if seen[t] {
+			return
+		}
+		seen[t] = true
+		if obj := t.Obj(); obj.Pkg() == nil || !moduleLocal(obj.Pkg().Path()) {
+			return // stdlib/external types are not this repo's contract
+		}
+		st, ok := t.Underlying().(*types.Struct)
+		if !ok {
+			// Named slices/maps of structs are still payload carriers.
+			checkJSONType(pass, call, t.Underlying(), seen)
+			return
+		}
+		checkStructFields(pass, call, t.Obj().Name(), st, seen)
+	case *types.Struct:
+		checkStructFields(pass, call, "anonymous struct", t, seen)
+	}
+}
+
+// moduleLocal reports whether path belongs to this module (or a fixture
+// package in analyzer tests).
+func moduleLocal(path string) bool {
+	return path == "bcache" || strings.HasPrefix(path, "bcache/") || containsTestdata(path)
+}
+
+// checkStructFields validates one struct: explicit tags on exported
+// non-embedded fields, no case-insensitive effective-name collisions,
+// and recursion into field types.
+func checkStructFields(pass *Pass, call *ast.CallExpr, name string, st *types.Struct, seen map[*types.Named]bool) {
+	byLower := map[string][]string{}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i))
+		jsonTag, hasTag := tag.Lookup("json")
+		tagName, _, _ := strings.Cut(jsonTag, ",")
+
+		if f.Exported() && !f.Embedded() {
+			if !hasTag || tagName == "" {
+				pass.report(fieldPos(pass, call, f),
+					"exported field %s.%s reaches encoding/json without an explicit json tag; field names are a schema contract, tag it (or use `json:\"-\"`)",
+					name, f.Name())
+			}
+		}
+		if tagName == "-" && !strings.Contains(jsonTag, ",") {
+			continue // explicitly excluded from JSON
+		}
+		if f.Exported() {
+			effective := f.Name()
+			if tagName != "" {
+				effective = tagName
+			}
+			byLower[strings.ToLower(effective)] = append(byLower[strings.ToLower(effective)], f.Name())
+		}
+		// Nested payload types are part of the same artifact
+		// (unexported fields never marshal, so they are not followed).
+		if f.Exported() {
+			checkJSONType(pass, call, f.Type(), seen)
+		}
+	}
+	for _, fields := range byLower {
+		if len(fields) > 1 {
+			pass.report(pass.Fset.Position(call.Pos()),
+				"fields %s of %s collide case-insensitively in JSON; encoding/json matches decoder keys case-insensitively and would fill the wrong field",
+				strings.Join(fields, " and "), name)
+		}
+	}
+}
+
+// fieldPos anchors a field finding to the field declaration when it is
+// in the analyzed package's files, else to the call site (where a
+// //bcachelint:allow directive can see it).
+func fieldPos(pass *Pass, call *ast.CallExpr, f *types.Var) token.Position {
+	p := pass.Fset.Position(f.Pos())
+	for _, file := range pass.Files {
+		if pass.Fset.Position(file.Pos()).Filename == p.Filename {
+			return p
+		}
+	}
+	return pass.Fset.Position(call.Pos())
+}

@@ -1,0 +1,82 @@
+// Package a seeds one violation of each determinism rule alongside the
+// canonical remedies, which must pass without annotation.
+package a
+
+import (
+	"fmt"
+	"math/rand" // want `determinism: import of "math/rand"`
+	"sort"
+	"strings"
+	"time"
+)
+
+// clock reads the wall clock, leaking run time into results.
+func clock() int64 {
+	return time.Now().Unix() // want `determinism: call to time.Now`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `determinism: call to time.Since`
+}
+
+func tick(d time.Duration) *time.Ticker {
+	return time.NewTicker(d) // want `determinism: call to time.NewTicker`
+}
+
+// globalRand draws from the global stream (the import is the finding).
+func globalRand() int { return rand.Int() }
+
+// render emits rows in map iteration order through a writer.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m { // want `determinism: range over map emits per-iteration output`
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// build emits through a Builder method rather than fmt.
+func build(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `determinism: range over map emits per-iteration output`
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// collect appends in iteration order and never sorts the result.
+func collect(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `determinism: range over map emits per-iteration output`
+		out = append(out, k)
+	}
+	return out
+}
+
+// sortedCollect is the canonical remedy: collect, then sort.
+func sortedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortedRender ranges the sorted key slice, never the map itself.
+func sortedRender(m map[string]int) string {
+	var b strings.Builder
+	for _, k := range sortedCollect(m) {
+		fmt.Fprintf(&b, "%s=%d\n", k, m[k])
+	}
+	return b.String()
+}
+
+// orderFree aggregates commutatively; iteration order cannot leak.
+func orderFree(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Package b pins the //bcachelint:allow directive semantics: a
+// directive suppresses exactly one line, must carry a reason, and must
+// suppress something.
+package b
+
+import "time"
+
+// allowed carries a justified suppression; only this line is exempt.
+func allowed() int64 {
+	return time.Now().Unix() //bcachelint:allow determinism(fixture: harness wall time, never reaches results)
+}
+
+// unallowed is the identical violation a few lines later and must still
+// be flagged — suppression is line-scoped, not file-scoped.
+func unallowed() int64 {
+	return time.Now().Unix() // want `determinism: call to time.Now`
+}
+
+// reasonless suppresses its violation but gives no reason, which is
+// itself a finding (the time.Now diagnostic stays suppressed).
+func reasonless() int64 {
+	//bcachelint:allow determinism() // want `directive: bcachelint:allow determinism\(\) has no reason`
+	return time.Now().Unix()
+}
+
+//bcachelint:allow determinism(suppresses nothing) // want `directive: stale bcachelint:allow determinism directive`
+func unrelated() {}

@@ -1,0 +1,8 @@
+package bad // want `oraclepair: oracle pair "bad-pair": oracle symbol .*Oracle is gone` `oraclepair: oracle pair "bad-pair": differential test .*TestGone is gone`
+
+// Fast has lost its Oracle twin and one of its manifest tests; the
+// analyzer must report both against the manifest.
+type Fast struct{ state int }
+
+// Step advances the fast engine.
+func (f *Fast) Step() int { f.state++; return f.state }

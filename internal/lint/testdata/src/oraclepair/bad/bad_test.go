@@ -1,0 +1,12 @@
+package bad
+
+import "testing"
+
+// TestIgnoresOracle survives in name but no longer drives the oracle
+// half of the pair.
+func TestIgnoresOracle(t *testing.T) { // want `oraclepair: oracle pair "bad-pair": test TestIgnoresOracle no longer references Oracle`
+	f := &Fast{}
+	if f.Step() != 1 {
+		t.Fatal("bad step")
+	}
+}

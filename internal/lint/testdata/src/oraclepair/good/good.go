@@ -1,0 +1,15 @@
+// Package good is a healthy fast/oracle twin: both symbols exist and
+// the differential test drives both.
+package good
+
+// Fast is the optimized engine.
+type Fast struct{ state int }
+
+// Oracle is the obviously-correct reference twin.
+type Oracle struct{ state int }
+
+// Step advances the fast engine.
+func (f *Fast) Step() int { f.state += 2; return f.state / 2 }
+
+// Step advances the oracle.
+func (o *Oracle) Step() int { o.state++; return o.state }

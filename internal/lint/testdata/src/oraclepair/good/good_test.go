@@ -1,0 +1,13 @@
+package good
+
+import "testing"
+
+// TestFastMatchesOracle is the differential test the manifest declares.
+func TestFastMatchesOracle(t *testing.T) {
+	f, o := &Fast{}, &Oracle{}
+	for i := 0; i < 100; i++ {
+		if got, want := f.Step(), o.Step(); got != want {
+			t.Fatalf("step %d: fast %d, oracle %d", i, got, want)
+		}
+	}
+}

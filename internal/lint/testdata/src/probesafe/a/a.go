@@ -1,0 +1,85 @@
+// Package a exercises the probe hot-path contract on a fixture Probe
+// interface (the analyzer matches any interface named Probe declared in
+// a testdata package or a package ending in internal/cache).
+package a
+
+// Probe is the fixture stand-in for cache.Probe.
+type Probe interface {
+	ObserveAccess(frame int, hit, write bool)
+	ObserveFunc(f func())
+	ObserveAny(v any)
+}
+
+type payload struct{ a, b int }
+
+type model struct {
+	probe Probe
+}
+
+// guarded is the contract-compliant emission.
+func (m *model) guarded(frame int) {
+	if m.probe != nil {
+		m.probe.ObserveAccess(frame, true, false)
+	}
+}
+
+// guardedChain accepts the guard inside a && chain.
+func (m *model) guardedChain(frame int, on bool) {
+	if on && m.probe != nil {
+		m.probe.ObserveAccess(frame, false, false)
+	}
+}
+
+// unguarded misses the nil check entirely.
+func (m *model) unguarded(frame int) {
+	m.probe.ObserveAccess(frame, true, false) // want "not enclosed in an .if m.probe != nil. guard"
+}
+
+// wrongGuard checks a different receiver's probe.
+func (m *model) wrongGuard(other *model, frame int) {
+	if other.probe != nil {
+		m.probe.ObserveAccess(frame, true, false) // want "not enclosed in an .if m.probe != nil. guard"
+	}
+}
+
+// elseBranch emits on the un-guarded arm of the if.
+func (m *model) elseBranch(frame int) {
+	if m.probe != nil {
+		_ = frame
+	} else {
+		m.probe.ObserveAccess(frame, false, false) // want "not enclosed in an .if m.probe != nil. guard"
+	}
+}
+
+// closureArg allocates a function literal per emission.
+func (m *model) closureArg() {
+	if m.probe != nil {
+		m.probe.ObserveFunc(func() {}) // want `probesafe: probe emission argument is a function literal`
+	}
+}
+
+// compositeArg allocates a composite literal per emission.
+func (m *model) compositeArg() {
+	if m.probe != nil {
+		m.probe.ObserveAny(payload{1, 2}) // want `probesafe: probe emission argument is a composite literal`
+	}
+}
+
+// pointerArg allocates a pointed-to composite literal per emission.
+func (m *model) pointerArg() {
+	if m.probe != nil {
+		m.probe.ObserveAny(&payload{1, 2}) // want `probesafe: probe emission argument is a pointer to composite literal`
+	}
+}
+
+// methodValue binds a probe method, which allocates a closure.
+func (m *model) methodValue() func(int, bool, bool) {
+	return m.probe.ObserveAccess // want `probesafe: method value m.probe.ObserveAccess allocates a closure`
+}
+
+// hoisted passes pre-built values: no per-emission allocation.
+func (m *model) hoisted(p *payload) {
+	if m.probe != nil {
+		m.probe.ObserveAny(p)
+	}
+}

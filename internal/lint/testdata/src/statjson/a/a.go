@@ -1,0 +1,44 @@
+// Package a seeds statjson violations: untagged exported fields on
+// structs that reach encoding/json (directly and through nesting) and a
+// case-insensitive JSON name collision.
+package a
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report reaches json.Marshal and json.Decoder.Decode below.
+type Report struct {
+	Tagged   int   `json:"tagged"`
+	Untagged int   // want `statjson: exported field Report.Untagged reaches encoding/json without an explicit json tag`
+	Skipped  int   `json:"-"`
+	Nested   Inner `json:"nested"`
+	hidden   int
+}
+
+// Inner is reached only through Report.Nested.
+type Inner struct {
+	Also int // want `statjson: exported field Inner.Also reaches encoding/json without an explicit json tag`
+}
+
+// Collide is fully tagged but its names differ only by case.
+type Collide struct {
+	HitPD int `json:"hitPD"`
+	HitPd int `json:"hitpd"`
+}
+
+func emit(w io.Writer) error {
+	if _, err := json.Marshal(&Report{hidden: 1}); err != nil {
+		return err
+	}
+	return json.NewEncoder(w).Encode(Collide{}) // want `statjson: fields HitPD and HitPd of Collide collide case-insensitively`
+}
+
+// load re-reaches Report through a Decoder; findings are deduplicated
+// per package, so the Report fields are reported once, above.
+func load(r io.Reader) (Report, error) {
+	var rep Report
+	err := json.NewDecoder(r).Decode(&rep)
+	return rep, err
+}

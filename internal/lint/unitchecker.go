@@ -1,0 +1,155 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file speaks the `go vet -vettool=` protocol, the same contract
+// x/tools/go/analysis/unitchecker implements: the go command invokes
+// the tool once per compilation unit with a JSON config file argument,
+// after two handshakes (`-V=full` for the tool's build ID, `-flags` for
+// its flag set). Diagnostics go to stderr as file:line:col text and a
+// non-zero exit marks findings; the fact file named by VetxOutput must
+// be created even though this suite uses no cross-package facts.
+
+// vetConfig mirrors the fields of the go command's vet.cfg this tool
+// consumes; unknown fields are ignored by encoding/json. The tags
+// restate the go command's field names — this struct mirrors an
+// external schema rather than defining one.
+type vetConfig struct {
+	ID          string            `json:"ID"`
+	Compiler    string            `json:"Compiler"`
+	Dir         string            `json:"Dir"`
+	ImportPath  string            `json:"ImportPath"`
+	GoFiles     []string          `json:"GoFiles"`
+	NonGoFiles  []string          `json:"NonGoFiles"`
+	ImportMap   map[string]string `json:"ImportMap"`
+	PackageFile map[string]string `json:"PackageFile"`
+	VetxOnly    bool              `json:"VetxOnly"`
+	VetxOutput  string            `json:"VetxOutput"`
+	// SucceedOnTypecheckFailure is set by `go vet` so packages that do
+	// not compile are reported by the compiler, not the linter.
+	SucceedOnTypecheckFailure bool `json:"SucceedOnTypecheckFailure"`
+}
+
+// UnitcheckerMain implements the vettool side of the protocol for args
+// (os.Args[1:]). It returns the process exit code; diagnostics and
+// errors are printed to stderr.
+func UnitcheckerMain(progname string, args []string, analyzers []*Analyzer) int {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion(progname)
+			return 0
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags: an empty JSON flag set tells the
+			// go command to reject any it was given.
+			fmt.Println("[]")
+			return 0
+		}
+	}
+	if len(args) != 1 || !strings.HasSuffix(args[0], ".cfg") {
+		fmt.Fprintf(os.Stderr, "%s: unitchecker mode expects a single *.cfg argument, got %q\n", progname, args)
+		return 2
+	}
+	code, err := runUnit(args[0], analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		return 1
+	}
+	return code
+}
+
+// printVersion replicates the output format the go command's toolID
+// handshake parses (same shape x/tools/analysisflags prints).
+func printVersion(progname string) {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			io.Copy(h, f)
+			f.Close()
+		}
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", progname, h.Sum(nil))
+}
+
+// runUnit analyzes one vet compilation unit.
+func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 1, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 1, fmt.Errorf("parsing %s: %w", cfgPath, err)
+	}
+	// The go command requires the fact file to exist afterwards, even
+	// for units we have nothing to say about.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("bcachelint-no-facts\n"), 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	var goFiles []string
+	for _, f := range cfg.GoFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(cfg.Dir, f)
+		}
+		goFiles = append(goFiles, f)
+	}
+	files, err := parseFiles(fset, goFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, err
+	}
+	pkg, info, err := checkFiles(fset, cfg.ImportPath, files, gcImporter(fset, cfg.ImportMap, cfg.PackageFile))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, err
+	}
+	cp := &checkedPackage{
+		fset:    fset,
+		files:   files,
+		pkg:     pkg,
+		info:    info,
+		pkgPath: cfg.ImportPath,
+		// Only the test variant sees every file of a package that has
+		// tests; the plain unit defers whole-package checks to it (see
+		// Pass.Complete). A unit whose files include no _test.go and
+		// whose ImportPath is undecorated may still have a variant
+		// coming, so completeness in vet mode is "this unit is a test
+		// variant" — `make lint` runs the standalone checker first,
+		// which closes the no-tests-at-all gap.
+		complete: strings.Contains(cfg.ImportPath, " ["),
+	}
+	diags, err := cp.RunAnalyzers(analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 1, err
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,24 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// exprString renders an expression in source form for receiver-identity
+// comparisons and messages.
+func exprString(e ast.Expr) string { return types.ExprString(e) }
+
+// hasSuffixPath reports whether path ends with the given slash-separated
+// suffix on an element boundary ("a/b/c" has suffix "b/c" but not "/c"
+// spliced mid-element).
+func hasSuffixPath(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// containsTestdata reports whether path is a fixture package under a
+// testdata/src tree (analysistest packages; never part of a real build).
+func containsTestdata(path string) bool {
+	return strings.Contains(path, "/testdata/src/")
+}

@@ -77,42 +77,42 @@ func Multi(probes ...cache.Probe) cache.Probe {
 
 func (m multi) ObserveAccess(frame int, hit, write bool) {
 	for _, p := range m {
-		p.ObserveAccess(frame, hit, write)
+		p.ObserveAccess(frame, hit, write) //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }
 
 func (m multi) ObservePD(hit bool) {
 	for _, p := range m {
-		p.ObservePD(hit)
+		p.ObservePD(hit) //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }
 
 func (m multi) ObserveReprogram() {
 	for _, p := range m {
-		p.ObserveReprogram()
+		p.ObserveReprogram() //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }
 
 func (m multi) ObserveEvict(dirty bool) {
 	for _, p := range m {
-		p.ObserveEvict(dirty)
+		p.ObserveEvict(dirty) //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }
 
 func (m multi) ObserveWriteback() {
 	for _, p := range m {
-		p.ObserveWriteback()
+		p.ObserveWriteback() //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }
 
 func (m multi) ObserveFault(d cache.FaultDomain, c cache.FaultClass) {
 	for _, p := range m {
-		p.ObserveFault(d, c)
+		p.ObserveFault(d, c) //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }
 
 func (m multi) ObserveScrub(repaired int, degraded bool) {
 	for _, p := range m {
-		p.ObserveScrub(repaired, degraded)
+		p.ObserveScrub(repaired, degraded) //bcachelint:allow probesafe(Multi drops nil probes at construction)
 	}
 }

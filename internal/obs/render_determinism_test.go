@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestReportByteIdentical pins the report rendering path: two identical
+// runs must encode to byte-identical JSON. The report carries
+// map-backed aggregates (series, heatmap rows, balance classification),
+// so any iteration-order leak in their assembly would show up here as a
+// nondeterministic artifact diff.
+func TestReportByteIdentical(t *testing.T) {
+	encode := func() []byte {
+		r := runReport(t, 30000)
+		var b bytes.Buffer
+		if err := r.Write(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	first, second := encode(), encode()
+	if !bytes.Equal(first, second) {
+		t.Fatal("report JSON differs between two identical runs")
+	}
+}
