@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare clean
+.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare telemetry-smoke clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -58,11 +58,17 @@ fmt-check:
 # build, the focused robustness race gate, and the race-enabled test
 # suite (probes attached under -race is an explicit acceptance criterion
 # of the observability layer). lint is fatal: a finding without a
-# justified //bcachelint:allow fails CI. bench-compare runs last as a
-# non-fatal report (leading "-"): kernel throughput on a shared box is
-# too noisy to hard-gate CI, but a >15% regression should be seen.
+# justified //bcachelint:allow fails CI.
+#
+# telemetry-smoke and bench-compare run last as non-fatal reports, each
+# surfacing a labeled warning on failure so a scan of the CI log finds
+# them: the smoke binds a TCP listener (sandboxes may forbid that) and
+# kernel throughput on a shared box is too noisy to hard-gate. Promotion
+# path to fatal: once each has a clean week in CI logs, drop its `||
+# echo` fallback so the recipe's exit status gates the build.
 ci: fmt-check vet lint build race-robust race
-	-$(MAKE) bench-compare
+	@$(MAKE) telemetry-smoke || echo "[telemetry-smoke] WARNING: live telemetry smoke failed (non-fatal; see above)"
+	@$(MAKE) bench-compare || echo "[bench-regression] WARNING: kernel throughput regressed >15% vs BENCH_perf.json (non-fatal; rerun 'make bench-compare' on a quiet box)"
 
 # bench-compare replays the perfbench kernels and fails if any kernel's
 # accesses/sec regressed more than 15% against the committed baseline.
@@ -71,6 +77,13 @@ ci: fmt-check vet lint build race-robust race
 # time.
 bench-compare:
 	$(GO) run ./cmd/perfbench -compare BENCH_perf.json -kernel-accesses 10000000
+
+# telemetry-smoke drives the whole live-telemetry stack once: experiments
+# under -telemetry on an ephemeral port, /metrics + /progress scraped and
+# validated, SIGINT mid-linger, exported span journal and Chrome trace
+# checked. See cmd/telemetrysmoke.
+telemetry-smoke:
+	$(GO) run ./cmd/telemetrysmoke
 
 # bench runs the probe-overhead benchmarks (see internal/obs/alloc_test.go
 # for how to read the two levels).

@@ -39,6 +39,7 @@ import (
 	"bcache/internal/fault"
 	"bcache/internal/hier"
 	"bcache/internal/obs"
+	"bcache/internal/obs/metrics"
 	"bcache/internal/rng"
 	"bcache/internal/trace"
 	"bcache/internal/victim"
@@ -70,6 +71,8 @@ func main() {
 		faultProtect = flag.String("fault-protect", "none", "fault protection model: none | parity | secded")
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault injector RNG seed")
 		scrubEvery   = flag.Uint64("scrub-every", 4096, "PD scrub interval in accesses (0 = never)")
+
+		telemetry = flag.String("telemetry", "", "serve live telemetry (/metrics, /progress, /debug/pprof) on this host:port (:0 picks a port)")
 	)
 	flag.Parse()
 
@@ -109,7 +112,7 @@ func main() {
 		os.Exit(130)
 	}()
 
-	if err := run(runCfg{
+	cfg := runCfg{
 		bench: *benchName, tracePath: *tracePath, profile: *profile,
 		kind: *kind, size: *size, line: *line, mf: *mf, bas: *bas,
 		policy: *policy, entries: *entries, n: *n, side: *side, ipc: *ipc,
@@ -117,7 +120,33 @@ func main() {
 		faultRate: *faultRate, faultProtect: *faultProtect,
 		faultSeed: *faultSeed, scrubEvery: *scrubEvery,
 		stop: &stop,
-	}); err != nil {
+	}
+	if *telemetry != "" {
+		simTel := newSimTelemetry(*n, &stop)
+		telSrv, err := metrics.NewServer(*telemetry, simTel.reg, simTel.progress)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s (/metrics /progress /debug/pprof)\n", telSrv.Addr())
+		cfg.tel = simTel
+		// Drain and stop the server as soon as the simulation loop ends —
+		// before the summary and report write, so the exit-130 partial
+		// report never races a live scrape. Idempotent: the hook fires on
+		// the normal path and the interrupt path alike.
+		cfg.onDrained = func() {
+			if telSrv == nil {
+				return
+			}
+			simTel.done.Store(true)
+			if err := telSrv.Close(2 * time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: shutdown: %v\n", err)
+			}
+			telSrv = nil
+		}
+		defer cfg.onDrained()
+	}
+
+	if err := run(cfg); err != nil {
 		fail(err)
 	}
 
@@ -157,10 +186,91 @@ type runCfg struct {
 	// stop, when set and flipped true (by the signal handler), ends the
 	// input stream at the next record.
 	stop *atomic.Bool
+	// tel, when set, receives live record counts from the simulation loop.
+	tel *simTelemetry
+	// onDrained, when set, runs after the simulation loop finishes —
+	// before the summary and report write — so a telemetry server can
+	// drain and close ahead of any artifact.
+	onDrained func()
 }
 
 // interrupted reports whether the signal handler requested a stop.
 func (cfg runCfg) interrupted() bool { return cfg.stop != nil && cfg.stop.Load() }
+
+// drained flushes pending telemetry counts and fires the onDrained hook.
+func (cfg runCfg) drained(cs *countStream) {
+	if cs != nil {
+		cs.flush()
+	}
+	if cfg.onDrained != nil {
+		cfg.onDrained()
+	}
+}
+
+// simTelemetry is bcachesim's live-telemetry state: a registry with one
+// batched record counter, plus the /progress snapshot. bcachesim has no
+// scheduler, so this is deliberately smaller than experiment.Telemetry.
+type simTelemetry struct {
+	reg     *metrics.Registry
+	records *metrics.Counter
+	target  uint64
+	stop    *atomic.Bool
+	done    atomic.Bool
+}
+
+func newSimTelemetry(target uint64, stop *atomic.Bool) *simTelemetry {
+	reg := metrics.NewRegistry()
+	return &simTelemetry{
+		reg:     reg,
+		records: reg.Counter("bcachesim_trace_records", "trace records consumed by the simulation loop"),
+		target:  target,
+		stop:    stop,
+	}
+}
+
+// progress is the /progress endpoint payload.
+func (t *simTelemetry) progress() any {
+	return struct {
+		SchemaVersion      int    `json:"schemaVersion"`
+		TargetInstructions uint64 `json:"targetInstructions"`
+		Records            uint64 `json:"records"`
+		Done               bool   `json:"done"`
+		Interrupted        bool   `json:"interrupted"`
+	}{1, t.target, t.records.Value(), t.done.Load(), t.stop != nil && t.stop.Load()}
+}
+
+// countBatch is how many trace records accumulate locally before one
+// atomic add publishes them: the hot loop stays free of per-record
+// shared-counter traffic.
+const countBatch = 8192
+
+// countStream wraps the input stream and publishes consumption to the
+// telemetry counter in batches (remainder on end-of-stream or flush).
+type countStream struct {
+	inner trace.Stream
+	ctr   *metrics.Counter
+	batch uint64
+}
+
+func (s *countStream) Next() (trace.Record, bool) {
+	rec, ok := s.inner.Next()
+	if ok {
+		if s.batch++; s.batch == countBatch {
+			s.ctr.Add(countBatch)
+			s.batch = 0
+		}
+	} else {
+		s.flush()
+	}
+	return rec, ok
+}
+
+func (s *countStream) flush() {
+	if s.batch > 0 {
+		s.ctr.Add(s.batch)
+		s.batch = 0
+	}
+}
 
 // stopStream wraps a trace so a stop request ends it cleanly: the
 // simulation loop drains as if the trace ran out, and every summary or
@@ -191,12 +301,17 @@ func run(cfg runCfg) error {
 	if cfg.stop != nil {
 		stream = stopStream{inner: stream, stop: cfg.stop}
 	}
+	var cs *countStream
+	if cfg.tel != nil {
+		cs = &countStream{inner: stream, ctr: cfg.tel.records}
+		stream = cs
+	}
 
 	if cfg.ipc {
 		if cfg.faultRate > 0 {
 			return fmt.Errorf("-fault-rate is supported in miss-rate mode only, not with -ipc")
 		}
-		return runIPC(cfg, build, stream)
+		return runIPC(cfg, build, stream, cs)
 	}
 
 	c, err := build()
@@ -253,6 +368,7 @@ func run(cfg runCfg) error {
 		}
 	}
 	wall := time.Since(start)
+	cfg.drained(cs)
 
 	// Summaries and the report describe the underlying cache; the
 	// injector is only the access path.
@@ -321,7 +437,7 @@ func run(cfg runCfg) error {
 }
 
 // runIPC drives the full CPU model over the two-level hierarchy.
-func runIPC(cfg runCfg, build func() (cache.Cache, error), stream trace.Stream) error {
+func runIPC(cfg runCfg, build func() (cache.Cache, error), stream trace.Stream, cs *countStream) error {
 	ic, err := build()
 	if err != nil {
 		return err
@@ -350,6 +466,7 @@ func runIPC(cfg runCfg, build func() (cache.Cache, error), stream trace.Stream) 
 		return err
 	}
 	wall := time.Since(start)
+	cfg.drained(cs)
 	fmt.Printf("config      : %s (both L1s)\n", ic.Name())
 	fmt.Printf("instructions: %d\n", res.Instructions)
 	fmt.Printf("cycles      : %d\n", res.Cycles)

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"bcache/internal/experiment"
+	"bcache/internal/obs/metrics"
 )
 
 func main() {
@@ -51,6 +52,11 @@ func main() {
 		resume      = flag.Bool("resume", false, "load -checkpoint first and skip units already recorded (bit-identical)")
 		unitTimeout = flag.Duration("unit-timeout", 0, "abandon a single work unit running longer than this (0 = no deadline)")
 		unitRetries = flag.Int("unit-retries", 0, "retries for timed-out or transient work units")
+
+		telemetry   = flag.String("telemetry", "", "serve live telemetry (/metrics, /progress, /debug/pprof) on this host:port (:0 picks a port)")
+		linger      = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run (scrapers; SIGINT ends it early)")
+		traceOut    = flag.String("trace-out", "", "write the scheduler span journal as JSONL to this file")
+		traceChrome = flag.String("trace-chrome", "", "write the span journal as a Chrome trace-event file (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
 
@@ -108,18 +114,50 @@ func main() {
 	}
 
 	// First SIGINT/SIGTERM stops claiming new work units; in-flight units
-	// finish, partial tables render, and the checkpoint is saved. A second
-	// signal aborts immediately.
+	// finish, partial tables render, the telemetry server drains, and the
+	// checkpoint is saved. A second signal aborts immediately.
+	stopc := make(chan struct{})
 	sigc := make(chan os.Signal, 2)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sigc
 		fmt.Fprintf(os.Stderr, "\nexperiments: %v — finishing in-flight units and writing partial output (signal again to abort)\n", s)
 		experiment.RequestStop()
+		close(stopc)
 		<-sigc
 		fmt.Fprintln(os.Stderr, "experiments: second signal, aborting")
 		os.Exit(130)
 	}()
+
+	// The telemetry hub is always installed: it is what times units for
+	// the per-experiment digest. The HTTP server and journal exports are
+	// opt-in; with them off nothing is served or written.
+	tel := experiment.NewTelemetry(0, nil)
+	experiment.SetTelemetry(tel)
+	var telSrv *metrics.Server
+	if *telemetry != "" {
+		var err error
+		telSrv, err = metrics.NewServer(*telemetry, tel.Registry(), func() any {
+			return tel.ProgressSnapshot()
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving http://%s (/metrics /progress /debug/pprof)\n", telSrv.Addr())
+	}
+	// closeTelemetry drains and stops the server (idempotent) — before
+	// the partial-JSON write on the interrupt path, so the exit-130
+	// artifact never races a live scrape of half-written state.
+	closeTelemetry := func() {
+		if telSrv == nil {
+			return
+		}
+		if err := telSrv.Close(2 * time.Second); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: shutdown: %v\n", err)
+		}
+		telSrv = nil
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -190,9 +228,11 @@ func main() {
 	var results []experiment.Result
 	var runErr error
 	for _, e := range exps {
+		tel.BeginExperiment(e.ID)
 		start := time.Now()
 		tables, err := e.Run(opts)
 		elapsed := time.Since(start)
+		timing := tel.EndExperiment(e.ID, start, elapsed)
 		if err != nil {
 			// A failed or interrupted experiment may still return partial
 			// tables; render them before stopping.
@@ -203,6 +243,9 @@ func main() {
 		case "text":
 			for _, t := range tables {
 				fmt.Fprintln(out, t.Render())
+			}
+			if f := timing.Footer(); f != "" {
+				fmt.Fprintf(out, "[%s %s]\n", e.ID, f)
 			}
 			if err == nil {
 				fmt.Fprintf(out, "[%s completed in %v]\n\n", e.ID, elapsed.Round(time.Millisecond))
@@ -217,7 +260,7 @@ func main() {
 				}
 			}
 		case "json":
-			r := experiment.Result{ID: e.ID, Title: e.Title, ElapsedSeconds: elapsed.Seconds()}
+			r := experiment.Result{ID: e.ID, Title: e.Title, ElapsedSeconds: elapsed.Seconds(), UnitTiming: timing}
 			for _, t := range tables {
 				r.Tables = append(r.Tables, t.JSON())
 			}
@@ -225,6 +268,37 @@ func main() {
 		}
 		if err != nil {
 			break
+		}
+	}
+
+	// Hold the server up for scrapers on fast runs, then drain it before
+	// any artifact is written; SIGINT cuts the linger short.
+	if telSrv != nil && *linger > 0 && !experiment.Stopped() {
+		select {
+		case <-time.After(*linger):
+		case <-stopc:
+		}
+	}
+	closeTelemetry()
+
+	if *traceOut != "" {
+		if err := tel.Journal().WriteJSONLFile(*traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-out: %v\n", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "trace-out: %d spans to %s\n", tel.Journal().Len(), *traceOut)
+		}
+	}
+	if *traceChrome != "" {
+		if err := tel.Journal().WriteChromeTraceFile(*traceChrome); err != nil {
+			fmt.Fprintf(os.Stderr, "trace-chrome: %v\n", err)
+			if runErr == nil {
+				runErr = err
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "trace-chrome: %d spans to %s\n", tel.Journal().Len(), *traceChrome)
 		}
 	}
 

@@ -1,0 +1,222 @@
+// Command telemetrysmoke exercises the live telemetry stack end to end:
+// it launches the experiments CLI with -telemetry on an ephemeral port,
+// scrapes /metrics and /progress while the server lingers, validates the
+// OpenMetrics exposition and the progress document, interrupts the
+// process the way an operator would (SIGINT), and checks that the span
+// journal and Chrome trace artifacts written on the way out are
+// well-formed. It exits 0 on success and 1 with a reason on any failure,
+// so `make telemetry-smoke` can gate on it.
+//
+// Usage:
+//
+//	telemetrysmoke [-bin path/to/experiments] [-timeout 90s]
+//
+// Without -bin it runs `go run ./cmd/experiments`, so it works from a
+// clean checkout.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"bcache/internal/experiment"
+	"bcache/internal/obs/metrics"
+	"bcache/internal/obs/tracespan"
+)
+
+func main() {
+	bin := flag.String("bin", "", "experiments binary to drive (default: go run ./cmd/experiments)")
+	timeout := flag.Duration("timeout", 90*time.Second, "overall deadline for the smoke run")
+	flag.Parse()
+
+	if err := smoke(*bin, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "telemetrysmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("telemetrysmoke: OK")
+}
+
+func smoke(bin string, timeout time.Duration) error {
+	dir, err := os.MkdirTemp("", "telemetrysmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	jsonlPath := filepath.Join(dir, "spans.jsonl")
+	chromePath := filepath.Join(dir, "spans.trace.json")
+
+	args := []string{
+		"-run", "fig3", "-n", "100000",
+		"-telemetry", "127.0.0.1:0",
+		"-telemetry-linger", "30s",
+		"-trace-out", jsonlPath,
+		"-trace-chrome", chromePath,
+	}
+	if bin == "" {
+		// Build a real binary rather than `go run`: the go tool sits
+		// between us and the CLI and garbles SIGINT/exit-code handling.
+		bin = filepath.Join(dir, "experiments")
+		build := exec.Command("go", "build", "-o", bin, "./cmd/experiments")
+		if out, err := build.CombinedOutput(); err != nil {
+			return fmt.Errorf("go build ./cmd/experiments: %w\n%s", err, out)
+		}
+	}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	// Past this point the subprocess must not outlive us.
+	defer cmd.Process.Kill()
+
+	// The CLI announces its listener on stderr; everything else is kept
+	// for the failure report.
+	addrc := make(chan string, 1)
+	var tail strings.Builder
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			fmt.Fprintln(&tail, line)
+			if rest, ok := strings.CutPrefix(line, "telemetry: serving http://"); ok {
+				if i := strings.IndexByte(rest, ' '); i > 0 {
+					select {
+					case addrc <- rest[:i]:
+					default:
+					}
+				}
+			}
+		}
+	}()
+
+	deadline := time.After(timeout)
+	var addr string
+	select {
+	case addr = <-addrc:
+	case <-deadline:
+		return fmt.Errorf("no telemetry listener announced within %v\nstderr:\n%s", timeout, tail.String())
+	}
+
+	if err := checkEndpoints(addr); err != nil {
+		return fmt.Errorf("%w\nstderr:\n%s", err, tail.String())
+	}
+
+	// Interrupt like an operator: the linger ends early, the server
+	// drains, the journal exports still happen.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		return fmt.Errorf("interrupt: %w", err)
+	}
+	waitc := make(chan error, 1)
+	go func() { waitc <- cmd.Wait() }()
+	select {
+	case err = <-waitc:
+	case <-deadline:
+		return fmt.Errorf("experiments did not exit within %v of SIGINT\nstderr:\n%s", timeout, tail.String())
+	}
+	if err != nil {
+		var xe *exec.ExitError
+		// 130 is the documented interrupted-run exit status; anything
+		// else is a real failure.
+		if !errors.As(err, &xe) || xe.ExitCode() != 130 {
+			return fmt.Errorf("experiments exited: %w\nstderr:\n%s", err, tail.String())
+		}
+	}
+
+	if err := checkArtifacts(jsonlPath, chromePath); err != nil {
+		return fmt.Errorf("%w\nstderr:\n%s", err, tail.String())
+	}
+	return nil
+}
+
+// checkEndpoints scrapes and validates /metrics and /progress.
+func checkEndpoints(addr string) error {
+	body, ctype, err := get("http://" + addr + "/metrics")
+	if err != nil {
+		return err
+	}
+	if !strings.HasPrefix(ctype, "application/openmetrics-text") {
+		return fmt.Errorf("/metrics content type %q, want application/openmetrics-text", ctype)
+	}
+	if err := metrics.ValidateExposition(string(body)); err != nil {
+		return fmt.Errorf("/metrics exposition invalid: %w", err)
+	}
+	if !strings.Contains(string(body), "bcache_units_queued_total") {
+		return fmt.Errorf("/metrics is missing bcache_units_queued_total:\n%s", body)
+	}
+
+	body, _, err = get("http://" + addr + "/progress")
+	if err != nil {
+		return err
+	}
+	var p experiment.Progress
+	if err := json.Unmarshal(body, &p); err != nil {
+		return fmt.Errorf("/progress parse: %w", err)
+	}
+	if err := experiment.ValidateProgress(p); err != nil {
+		return fmt.Errorf("/progress invalid: %w", err)
+	}
+	return nil
+}
+
+// checkArtifacts validates the exported span journal and Chrome trace.
+func checkArtifacts(jsonlPath, chromePath string) error {
+	f, err := os.Open(jsonlPath)
+	if err != nil {
+		return fmt.Errorf("trace-out missing: %w", err)
+	}
+	defer f.Close()
+	meta, spans, err := tracespan.ReadJSONL(f)
+	if err != nil {
+		return fmt.Errorf("trace-out invalid: %w", err)
+	}
+	if meta.Recorded == 0 || len(spans) == 0 {
+		return fmt.Errorf("trace-out recorded no spans")
+	}
+
+	raw, err := os.ReadFile(chromePath)
+	if err != nil {
+		return fmt.Errorf("trace-chrome missing: %w", err)
+	}
+	var ct struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &ct); err != nil {
+		return fmt.Errorf("trace-chrome parse: %w", err)
+	}
+	if len(ct.TraceEvents) == 0 {
+		return fmt.Errorf("trace-chrome has no events")
+	}
+	return nil
+}
+
+// get fetches a URL with a short timeout and returns body + content type.
+func get(url string) ([]byte, string, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", fmt.Errorf("GET %s: %s\n%s", url, resp.Status, body)
+	}
+	return body, resp.Header.Get("Content-Type"), nil
+}

@@ -189,5 +189,8 @@ func (c *Checkpoint) saveLocked() error {
 		return err
 	}
 	c.dirty = 0
+	// Emitting under c.mu is safe: telemetry never calls back into the
+	// checkpoint, so there is no lock-order cycle.
+	CurrentTelemetry().checkpointSaved(len(c.units), len(data)+1)
 	return nil
 }

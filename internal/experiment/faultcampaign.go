@@ -98,7 +98,15 @@ func runFaultCampaign(opts Opts) ([]*Table, error) {
 	}
 
 	cells := make([]faultCell, len(rows)*len(profiles))
-	uo := unitOpts{Timeout: opts.UnitTimeout, Retries: opts.UnitRetries}
+	uo := unitOpts{
+		Timeout: opts.UnitTimeout,
+		Retries: opts.UnitRetries,
+		Label: func(i int) string {
+			r := rows[i/len(profiles)]
+			return fmt.Sprintf("fault/%s/MF%d-BAS%d-r%g-%s",
+				profiles[i%len(profiles)].Name, r.mf, r.bas, r.rate, r.prot)
+		},
+	}
 	err = runUnitsCtl(len(cells), opts.workers(), uo, func(i int) (func(), error) {
 		r := rows[i/len(profiles)]
 		pi := i % len(profiles)

@@ -21,10 +21,13 @@ type Document struct {
 
 // Result is one experiment's outcome inside a Document.
 type Result struct {
-	ID             string      `json:"id"`
-	Title          string      `json:"title"`
-	ElapsedSeconds float64     `json:"elapsedSeconds"`
-	Tables         []TableJSON `json:"tables"`
+	ID             string  `json:"id"`
+	Title          string  `json:"title"`
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+	// UnitTiming digests per-unit wall time (present when a telemetry
+	// hub was installed for the run; additive, so no schema bump).
+	UnitTiming *UnitTimingSummary `json:"unitTiming,omitempty"`
+	Tables     []TableJSON        `json:"tables"`
 }
 
 // TableJSON mirrors Table with stable lowerCamel JSON field names.

@@ -395,7 +395,18 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 	units := make([]UnitResult, len(profiles)*perSeed)
 	done := make([]bool, len(units))
 	slot := func(pi, k, si int) int { return pi*perSeed + k*len(all) + si }
-	uo := unitOpts{Timeout: opts.UnitTimeout, Retries: opts.UnitRetries}
+	uo := unitOpts{
+		Timeout: opts.UnitTimeout,
+		Retries: opts.UnitRetries,
+		Label: func(i int) string {
+			j := jobs[i]
+			if j.specIdx >= 0 {
+				return fmt.Sprintf("%s/%s/seed%d", profiles[j.pi].Name, all[j.specIdx].Name, j.k)
+			}
+			return fmt.Sprintf("%s/lru-profile/seed%d", profiles[j.pi].Name, j.k)
+		},
+	}
+	tel := CurrentTelemetry()
 	err := runUnitsCtl(len(jobs), opts.workers(), uo, func(i int) (func(), error) {
 		j := jobs[i]
 		p := profiles[j.pi]
@@ -425,6 +436,7 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 			return func() {
 				units[idx], done[idx] = u, true
 				cp.Record(key, u)
+				tel.addAccesses(u.Accesses)
 			}, nil
 		}
 
@@ -462,6 +474,11 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 				idx := slot(j.pi, j.k, si)
 				units[idx], done[idx] = res[x], true
 				cp.Record(keys[x], res[x])
+			}
+			if len(res) > 0 {
+				// One profiling pass replays the trace once, however many
+				// specs it answers.
+				tel.addAccesses(res[0].Accesses)
 			}
 		}, nil
 	})

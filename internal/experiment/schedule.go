@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bcache/internal/obs/tracespan"
 	"bcache/internal/workload"
 )
 
@@ -75,6 +76,13 @@ type unitOpts struct {
 	// Backoff is the first retry delay, doubling per attempt
 	// (default 50ms).
 	Backoff time.Duration
+	// Clock times unit attempts and sleeps retry backoffs (nil = wall
+	// clock). Tests inject tracespan.FakeClock to pin exact schedules.
+	Clock tracespan.Clock
+	// Label names unit i for telemetry spans and the slowest-unit
+	// digest. Only called when a telemetry hub is installed, so label
+	// formatting costs nothing on unobserved runs.
+	Label func(i int) string
 }
 
 func (o unitOpts) backoff() time.Duration {
@@ -82,6 +90,20 @@ func (o unitOpts) backoff() time.Duration {
 		return o.Backoff
 	}
 	return 50 * time.Millisecond
+}
+
+func (o unitOpts) clock() tracespan.Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return tracespan.Wall
+}
+
+func (o unitOpts) label(i int) string {
+	if o.Label == nil {
+		return ""
+	}
+	return o.Label(i)
 }
 
 // runUnitsCtl executes fn(i) for every i in [0, n) on up to workers
@@ -106,6 +128,8 @@ func runUnitsCtl(n, workers int, o unitOpts, fn func(int) (func(), error)) error
 	if workers > n {
 		workers = n
 	}
+	tel := CurrentTelemetry()
+	tel.runQueued(n)
 	var (
 		next        atomic.Int64
 		interrupted atomic.Bool
@@ -116,7 +140,7 @@ func runUnitsCtl(n, workers int, o unitOpts, fn func(int) (func(), error)) error
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				if stopRequested.Load() {
@@ -127,7 +151,11 @@ func runUnitsCtl(n, workers int, o unitOpts, fn func(int) (func(), error)) error
 				if i >= n {
 					return
 				}
-				if err := runOneUnit(i, o, fn); err != nil {
+				tel.unitClaimed()
+				err := runOneUnit(w, i, o, tel, fn)
+				tel.unitReleased()
+				if err != nil {
+					tel.unitFailed()
 					mu.Lock()
 					if len(errs) < maxJoinedErrors {
 						errs = append(errs, err)
@@ -137,9 +165,14 @@ func runUnitsCtl(n, workers int, o unitOpts, fn func(int) (func(), error)) error
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	// A stop request leaves units unclaimed; take them back out of the
+	// queue-depth gauge. next counts claim attempts, so cap it at n.
+	if claimed := int(next.Load()); claimed < n {
+		tel.runDrained(n - claimed)
+	}
 	if dropped > 0 {
 		errs = append(errs, fmt.Errorf("experiment: %d further unit failures elided", dropped))
 	}
@@ -149,12 +182,26 @@ func runUnitsCtl(n, workers int, o unitOpts, fn func(int) (func(), error)) error
 	return errors.Join(errs...)
 }
 
-// runOneUnit runs unit i to completion, committing on success and
-// retrying timeouts and transient failures with exponential backoff.
-func runOneUnit(i int, o unitOpts, fn func(int) (func(), error)) error {
+// runOneUnit runs unit i to completion on worker w, committing on
+// success and retrying timeouts and transient failures with exponential
+// backoff through the unit clock. Each attempt emits exactly one
+// KindUnit span, and each scheduled retry exactly one KindRetry span.
+func runOneUnit(w, i int, o unitOpts, tel *Telemetry, fn func(int) (func(), error)) error {
+	clk := o.clock()
+	label := ""
+	if tel != nil {
+		label = o.label(i)
+	}
 	delay := o.backoff()
 	for attempt := 0; ; attempt++ {
+		var start time.Time
+		if tel != nil {
+			start = tel.now()
+		}
 		commit, err := invokeUnit(i, o.Timeout, fn)
+		if tel != nil {
+			tel.unitAttempt(w, i, label, attempt, start, tel.now().Sub(start), err)
+		}
 		if err == nil {
 			if commit != nil {
 				commit()
@@ -168,7 +215,8 @@ func runOneUnit(i int, o unitOpts, fn func(int) (func(), error)) error {
 			}
 			return fmt.Errorf("unit %d: %w", i, err)
 		}
-		time.Sleep(delay)
+		tel.unitRetry(w, i, label, attempt, delay)
+		clk.Sleep(delay)
 		delay *= 2
 	}
 }
@@ -200,12 +248,16 @@ func invokeUnit(i int, timeout time.Duration, fn func(int) (func(), error)) (fun
 	}
 }
 
+// errUnitPanic marks an error produced by a recovered unit panic, so
+// telemetry can classify it without string matching.
+var errUnitPanic = errors.New("panicked")
+
 // protectUnit converts a panic in fn into an error carrying the stack.
 func protectUnit(i int, fn func(int) (func(), error)) (commit func(), err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			commit = nil
-			err = fmt.Errorf("experiment: unit %d panicked: %v\n%s", i, r, debug.Stack())
+			err = fmt.Errorf("experiment: unit %d %w: %v\n%s", i, errUnitPanic, r, debug.Stack())
 		}
 	}()
 	return fn(i)
@@ -214,7 +266,12 @@ func protectUnit(i int, fn func(int) (func(), error)) (commit func(), err error)
 // runUnits is the plain-grain scheduler: fn both computes and stores its
 // result (safe because without a deadline no call is ever abandoned).
 func runUnits(n, workers int, fn func(int) error) error {
-	return runUnitsCtl(n, workers, unitOpts{}, func(i int) (func(), error) {
+	return runUnitsLabeled(n, workers, nil, fn)
+}
+
+// runUnitsLabeled is runUnits with telemetry labels for the units.
+func runUnitsLabeled(n, workers int, label func(i int) string, fn func(int) error) error {
+	return runUnitsCtl(n, workers, unitOpts{Label: label}, func(i int) (func(), error) {
 		return nil, fn(i)
 	})
 }
@@ -223,10 +280,12 @@ func runUnits(n, workers int, fn func(int) error) error {
 // Experiments whose work does not decompose further use this; the
 // miss-rate and timed paths schedule finer units directly.
 func forEachProfile(profiles []*workload.Profile, workers int, fn func(*workload.Profile) error) error {
-	return runUnits(len(profiles), workers, func(i int) error {
-		if err := fn(profiles[i]); err != nil {
-			return fmt.Errorf("%s: %w", profiles[i].Name, err)
-		}
-		return nil
-	})
+	return runUnitsLabeled(len(profiles), workers,
+		func(i int) string { return profiles[i].Name },
+		func(i int) error {
+			if err := fn(profiles[i]); err != nil {
+				return fmt.Errorf("%s: %w", profiles[i].Name, err)
+			}
+			return nil
+		})
 }

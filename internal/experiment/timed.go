@@ -166,7 +166,9 @@ func runTimedResults(opts Opts, specs []Spec) (map[string]map[string]timedRun, e
 	all := append([]Spec{baselineSpec()}, specs...)
 	profiles := workload.All()
 	runs := make([]timedRun, len(profiles)*len(all))
-	err := runUnits(len(runs), opts.workers(), func(i int) error {
+	err := runUnitsLabeled(len(runs), opts.workers(), func(i int) string {
+		return fmt.Sprintf("timed/%s/%s", profiles[i/len(all)].Name, all[i%len(all)].Name)
+	}, func(i int) error {
 		p, spec := profiles[i/len(all)], all[i%len(all)]
 		r, err := runTimed(p, spec, opts)
 		if err != nil {

@@ -2,7 +2,9 @@ package experiment
 
 import (
 	"sync"
+	"time"
 
+	"bcache/internal/obs/tracespan"
 	"bcache/internal/workload"
 )
 
@@ -145,11 +147,13 @@ func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget i
 // cached entry failed its checksum (the caller should retry); built
 // entries are trusted by construction.
 func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineBytes int, budget int64) (_ *accessTrace, _ error, verified bool) {
+	tel := CurrentTelemetry()
 	tc.mu.Lock()
 	if e, ok := tc.entries[key]; ok {
 		tc.ticks++
 		e.lastUse = tc.ticks
 		tc.c.Hits++
+		used := tc.used
 		tc.mu.Unlock()
 		<-e.ready
 		if e.err == nil && e.at.checksum() != e.sum {
@@ -161,9 +165,12 @@ func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineB
 				delete(tc.entries, key)
 				tc.c.Rebuilds++
 			}
+			used = tc.used
 			tc.mu.Unlock()
+			tel.traceCacheEvent(tracespan.KindTraceRebuild, p.Name, time.Time{}, 0, used)
 			return nil, nil, false
 		}
+		tel.traceCacheEvent(tracespan.KindTraceHit, p.Name, time.Time{}, 0, used)
 		return e.at, e.err, true
 	}
 	e := &traceEntry{ready: make(chan struct{})}
@@ -173,6 +180,10 @@ func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineB
 	tc.c.Misses++
 	tc.mu.Unlock()
 
+	var buildStart time.Time
+	if tel != nil {
+		buildStart = tel.now()
+	}
 	at, err := materialize(p, n, lineBytes)
 	e.at, e.err = at, err
 	if err == nil {
@@ -189,7 +200,11 @@ func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineB
 		tc.used += e.size
 		tc.evictLocked(key, budget)
 	}
+	used := tc.used
 	tc.mu.Unlock()
+	if tel != nil && err == nil {
+		tel.traceCacheEvent(tracespan.KindTraceBuild, p.Name, buildStart, tel.now().Sub(buildStart), used)
+	}
 	return at, err, true
 }
 

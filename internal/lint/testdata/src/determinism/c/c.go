@@ -1,0 +1,41 @@
+// Package c pins the clock-seam pattern the telemetry layer relies on:
+// every wall-clock read flows through a Clock interface whose single
+// concrete implementation carries the audited allow, tests substitute a
+// fake, and any time.Now call outside the seam is still a finding.
+package c
+
+import "time"
+
+// Clock is the seam. Code that needs the time asks a Clock; only the
+// wall implementation below touches the real clock.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type wall struct{}
+
+// Now is the one sanctioned wall read behind the seam.
+func (wall) Now() time.Time {
+	return time.Now() //bcachelint:allow determinism(fixture clock seam: the single audited wall read; consumers receive time via Clock)
+}
+
+// Sleep delegates to the runtime; time.Sleep is not a banned call — it
+// reads no clock value into results.
+func (wall) Sleep(d time.Duration) { time.Sleep(d) }
+
+// fake is the test half of the seam: manual advance, no wall reads.
+type fake struct{ now time.Time }
+
+func (f *fake) Now() time.Time        { return f.now }
+func (f *fake) Sleep(d time.Duration) { f.now = f.now.Add(d) }
+
+// stamp consumes the seam; nothing to flag.
+func stamp(c Clock) int64 { return c.Now().UnixNano() }
+
+// sidestep bypasses the seam, which is exactly what the analyzer exists
+// to catch — an allow on the wall implementation does not bless the
+// package.
+func sidestep() int64 {
+	return time.Now().UnixNano() // want `determinism: call to time.Now`
+}

@@ -1,0 +1,49 @@
+// Package b exercises the probe hot-path contract at telemetry-shaped
+// emission sites: a scheduler-like hub forwarding span and counter
+// events to an optional Probe sink.
+package b
+
+// Probe is the fixture stand-in for a telemetry sink.
+type Probe interface {
+	ObserveSpan(kind string, worker, unit int)
+	ObserveCount(n uint64)
+	ObserveAny(v any)
+}
+
+type span struct {
+	kind         string
+	worker, unit int
+}
+
+type hub struct {
+	probe Probe
+}
+
+// unitDone is the compliant emission: guarded, scalar arguments.
+func (h *hub) unitDone(worker, unit int) {
+	if h.probe != nil {
+		h.probe.ObserveSpan("unit", worker, unit)
+	}
+}
+
+// retry forgets the guard on the retry path — the classic miss, since
+// retries are rare enough that a nil probe panic hides for weeks.
+func (h *hub) retry(worker, unit int) {
+	h.probe.ObserveSpan("retry", worker, unit) // want "not enclosed in an .if h.probe != nil. guard"
+}
+
+// record builds a composite span per emission, allocating on the hot
+// path even when the sink drops it.
+func (h *hub) record(worker, unit int) {
+	if h.probe != nil {
+		h.probe.ObserveAny(span{"unit", worker, unit}) // want `probesafe: probe emission argument is a composite literal`
+	}
+}
+
+// batched is the hoisted remedy: counts accumulate locally and flush as
+// one scalar.
+func (h *hub) batched(n uint64) {
+	if h.probe != nil {
+		h.probe.ObserveCount(n)
+	}
+}

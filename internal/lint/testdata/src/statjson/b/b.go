@@ -1,0 +1,40 @@
+// Package b seeds statjson violations shaped like the telemetry wire
+// types: a span record that reaches a JSONL encoder with one untagged
+// field, and a progress document whose tags collide case-insensitively.
+package b
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Span mirrors the journal wire type; the JSONL schema is versioned, so
+// every exported field must carry an explicit tag.
+type Span struct {
+	Kind          string `json:"kind"`
+	Worker        int    `json:"worker"`
+	StartUnixNano int64  `json:"startUnixNano"`
+	DurNanos      int64  // want `statjson: exported field Span.DurNanos reaches encoding/json without an explicit json tag`
+}
+
+// Progress is fully tagged, but two names differ only by case — which
+// Go's case-insensitive decoder conflates on the way back in.
+type Progress struct {
+	DoneUnits int `json:"doneUnits"`
+	Doneunits int `json:"doneunits"`
+}
+
+// writeJSONL encodes spans one per line, reaching Span via pointer.
+func writeJSONL(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	for i := range spans {
+		if err := enc.Encode(&spans[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeProgress(w io.Writer) error {
+	return json.NewEncoder(w).Encode(Progress{}) // want `statjson: fields DoneUnits and Doneunits of Progress collide case-insensitively`
+}

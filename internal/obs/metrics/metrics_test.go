@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bcache_units_completed", "units that finished")
+	g := r.Gauge("bcache_queue_depth", "unclaimed units")
+
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	g.Set(10)
+	g.Add(-3.5)
+	if g.Value() != 6.5 {
+		t.Fatalf("gauge = %v, want 6.5", g.Value())
+	}
+}
+
+func TestHistogramObserveAndQuantile(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1, 10})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.005) // falls in le=0.01
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5) // falls in le=10
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	if got := h.Quantile(0.99); got != 10 {
+		t.Fatalf("p99 = %v, want 10", got)
+	}
+	if got := h.Quantile(1); got != 10 {
+		t.Fatalf("p100 = %v, want 10", got)
+	}
+	emptyH := NewHistogram([]float64{1})
+	if got := emptyH.Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(100)
+	counts, sum, count := h.snapshot()
+	if counts[2] != 1 || count != 1 || sum != 100 {
+		t.Fatalf("overflow: counts=%v sum=%v count=%d", counts, sum, count)
+	}
+}
+
+func TestRegistryPanicsOnBadNames(t *testing.T) {
+	r := NewRegistry()
+	mustPanic(t, "invalid name", func() { r.Counter("9bad", "x") })
+	mustPanic(t, "invalid char", func() { r.Counter("bad-name", "x") })
+	r.Counter("ok_name", "x")
+	mustPanic(t, "duplicate", func() { r.Gauge("ok_name", "x") })
+	mustPanic(t, "empty bounds", func() { NewHistogram(nil) })
+	mustPanic(t, "unsorted bounds", func() { NewHistogram([]float64{2, 1}) })
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestWriteOpenMetricsRendersAndValidates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bcache_units_completed", "units that finished")
+	g := r.Gauge("bcache_queue_depth", "unclaimed units")
+	h := r.Histogram("bcache_unit_wall_seconds", "per-unit wall time", []float64{0.01, 0.1, 1})
+	c.Add(7)
+	g.Set(3)
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var buf bytes.Buffer
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	text := buf.String()
+
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("own exposition fails validation: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"# TYPE bcache_units_completed counter",
+		"bcache_units_completed_total 7",
+		"# TYPE bcache_queue_depth gauge",
+		"bcache_queue_depth 3",
+		"# TYPE bcache_unit_wall_seconds histogram",
+		`bcache_unit_wall_seconds_bucket{le="0.1"} 1`,
+		`bcache_unit_wall_seconds_bucket{le="+Inf"} 2`,
+		"bcache_unit_wall_seconds_sum 2.05",
+		"bcache_unit_wall_seconds_count 2",
+		"# EOF",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.HasSuffix(text, "# EOF\n") {
+		t.Fatalf("exposition does not end with EOF line:\n%s", text)
+	}
+}
+
+func TestWriteOpenMetricsDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zzz_last", "z")
+	r.Counter("aaa_first", "a")
+	var a, b bytes.Buffer
+	r.WriteOpenMetrics(&a)
+	r.WriteOpenMetrics(&b)
+	if a.String() != b.String() {
+		t.Fatal("two renders of identical state differ")
+	}
+	if strings.Index(a.String(), "aaa_first") > strings.Index(a.String(), "zzz_last") {
+		t.Fatalf("families not sorted by name:\n%s", a.String())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"empty":              "",
+		"no EOF":             "# TYPE x counter\nx_total 1\n",
+		"no final newline":   "# EOF",
+		"sample before TYPE": "x_total 1\n# EOF\n",
+		"bad value":          "# TYPE x counter\nx_total banana\n# EOF\n",
+		"wrong family":       "# TYPE x counter\ny_total 1\n# EOF\n",
+		"gauge with total":   "# TYPE x gauge\nx_total 1\n# EOF\n",
+		"bad label":          "# TYPE x histogram\nx_bucket{le=+Inf} 1\n# EOF\n",
+		"unknown type":       "# TYPE x wibble\n# EOF\n",
+		"duplicate TYPE":     "# TYPE x counter\n# TYPE x counter\n# EOF\n",
+		"empty line":         "# TYPE x counter\n\n# EOF\n",
+	}
+	for name, text := range cases {
+		if err := ValidateExposition(text); err == nil {
+			t.Errorf("%s: accepted %q", name, text)
+		}
+	}
+}
+
+func TestValidateExpositionAcceptsSpecials(t *testing.T) {
+	text := "# TYPE x gauge\n# HELP x a gauge\nx +Inf\n# EOF\n"
+	if err := ValidateExposition(text); err != nil {
+		t.Fatalf("rejected +Inf gauge: %v", err)
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := g.Value(); v != 0 {
+		t.Fatalf("gauge = %v after balanced adds, want 0", v)
+	}
+}
+
+func TestFmtFloat(t *testing.T) {
+	if got := fmtFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("fmtFloat(+Inf) = %q", got)
+	}
+	if got := fmtFloat(0.25); got != "0.25" {
+		t.Fatalf("fmtFloat(0.25) = %q", got)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	var c Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1, 10})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.05)
+	}
+}

@@ -1,0 +1,105 @@
+package metrics
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server is the opt-in telemetry HTTP listener: /metrics serves the
+// registry as OpenMetrics text, /progress serves a live JSON snapshot
+// from a caller-supplied function, and /debug/pprof exposes the
+// standard profiling handlers. It binds eagerly (so ":0" reports its
+// real port) and shuts down gracefully so interrupted CLI runs never
+// leak the accept goroutine past their partial-artifact writes.
+type Server struct {
+	reg      *Registry
+	progress func() any
+	ln       net.Listener
+	srv      *http.Server
+	done     chan struct{}
+	serveErr error
+}
+
+// ContentType is the OpenMetrics exposition media type served by
+// /metrics.
+const ContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// NewServer listens on addr (host:port; port 0 picks a free port) and
+// starts serving reg immediately. progress may be nil, disabling the
+// /progress verb; otherwise it is called per request and must be safe
+// for concurrent use.
+func NewServer(addr string, reg *Registry, progress func() any) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	s := &Server{reg: reg, progress: progress, ln: ln, done: make(chan struct{})}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/progress", s.handleProgress)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s.srv = &http.Server{Handler: mux}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.serveErr = err
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the real port for ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close drains in-flight requests and stops the server, waiting at most
+// timeout before forcing connections closed. Safe to call once; returns
+// any terminal serve error.
+func (s *Server) Close(timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	err := s.srv.Shutdown(ctx)
+	if err != nil {
+		// Past the drain deadline: force-close whatever is left.
+		s.srv.Close()
+	}
+	<-s.done
+	if s.serveErr != nil {
+		return s.serveErr
+	}
+	return err
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", ContentType)
+	s.reg.WriteOpenMetrics(w)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.progress == nil {
+		http.Error(w, "progress not wired", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.progress())
+}

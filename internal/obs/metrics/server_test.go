@@ -1,0 +1,177 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+func get(t *testing.T, url string) (int, string, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+}
+
+func TestServerServesMetricsAndProgress(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("bcache_accesses", "accesses simulated")
+	c.Add(42)
+
+	type progress struct {
+		Done  int `json:"done"`
+		Total int `json:"total"`
+	}
+	s, err := NewServer("127.0.0.1:0", r, func() any { return progress{Done: 3, Total: 9} })
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Close(time.Second)
+
+	base := "http://" + s.Addr()
+
+	code, body, ct := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if ct != ContentType {
+		t.Fatalf("/metrics content-type = %q", ct)
+	}
+	if err := ValidateExposition(body); err != nil {
+		t.Fatalf("/metrics body invalid: %v\n%s", err, body)
+	}
+	if !strings.Contains(body, "bcache_accesses_total 42") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+
+	code, body, ct = get(t, base+"/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress status = %d", code)
+	}
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("/progress content-type = %q", ct)
+	}
+	if !strings.Contains(body, `"done": 3`) || !strings.Contains(body, `"total": 9`) {
+		t.Fatalf("/progress body = %s", body)
+	}
+
+	code, body, _ = get(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline status = %d body %q", code, body)
+	}
+}
+
+func TestServerNilProgress(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Close(time.Second)
+	code, _, _ := get(t, "http://"+s.Addr()+"/progress")
+	if code != http.StatusNotFound {
+		t.Fatalf("/progress with nil callback status = %d, want 404", code)
+	}
+}
+
+func TestServerRejectsNonGet(t *testing.T) {
+	s, err := NewServer("127.0.0.1:0", NewRegistry(), nil)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	defer s.Close(time.Second)
+	resp, err := http.Post("http://"+s.Addr()+"/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /metrics status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestServerCloseNoGoroutineLeak is the graceful-shutdown contract for
+// the CLI signal path: after Close returns, the accept loop and every
+// handler goroutine are gone, so an interrupted run's partial-JSON
+// write is not racing a live listener.
+func TestServerCloseNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 3; i++ {
+		s, err := NewServer("127.0.0.1:0", NewRegistry(), func() any { return struct{}{} })
+		if err != nil {
+			t.Fatalf("NewServer: %v", err)
+		}
+		if code, _, _ := get(t, "http://"+s.Addr()+"/metrics"); code != http.StatusOK {
+			t.Fatalf("scrape %d failed: %d", i, code)
+		}
+		if err := s.Close(time.Second); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		// Addr must keep working after Close (CLIs log it post-shutdown).
+		if s.Addr() == "" {
+			t.Fatal("Addr empty after Close")
+		}
+	}
+
+	// The HTTP client may keep idle-connection goroutines briefly; poll
+	// with a bounded retry loop instead of asserting an instant count.
+	now := runtime.NumGoroutine()
+	for i := 0; i < 500; i++ { // ~5s worst case
+		runtime.GC()
+		now = runtime.NumGoroutine()
+		if now <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines: %d before, %d after Close (leak)", before, now)
+}
+
+func TestServerCloseDrainsInflight(t *testing.T) {
+	r := NewRegistry()
+	slow := make(chan struct{})
+	s, err := NewServer("127.0.0.1:0", r, func() any {
+		<-slow
+		return struct{}{}
+	})
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		resp, err := http.Get("http://" + s.Addr() + "/progress")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				err = fmt.Errorf("status %d", resp.StatusCode)
+			}
+		}
+		errc <- err
+	}()
+
+	// Give the request time to reach the handler, then shut down while
+	// it is blocked; Close must wait for the drain.
+	time.Sleep(50 * time.Millisecond)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(slow)
+	}()
+	if err := s.Close(5 * time.Second); err != nil {
+		t.Fatalf("Close during in-flight request: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("in-flight request not drained: %v", err)
+	}
+}

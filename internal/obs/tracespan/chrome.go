@@ -1,0 +1,143 @@
+package tracespan
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace-event export: the JSON array-of-events format consumed by
+// chrome://tracing and Perfetto (legacy JSON importer). Each scheduler
+// worker gets its own track (thread), so the timeline shows exactly how
+// the unit pipeline filled each worker: spans with a duration render as
+// "X" complete events, everything else as "i" instants pinned to their
+// owning track.
+
+// chromeEvent is one entry of the traceEvents array. Timestamps and
+// durations are microseconds; pid/tid pick the track.
+type chromeEvent struct {
+	Name string `json:"name"`
+	// Ph is the event phase: "X" complete, "i" instant, "M" metadata.
+	Ph  string  `json:"ph"`
+	Ts  float64 `json:"ts"`
+	Dur float64 `json:"dur,omitempty"`
+	Pid int     `json:"pid"`
+	Tid int     `json:"tid"`
+	// S scopes instants to their thread ("t"); empty otherwise.
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+	Cat  string            `json:"cat,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const chromePid = 1
+
+// chromeTid maps a span's Worker to a stable track id. Worker 0 becomes
+// tid 2 so that the shared track (Worker -1 → tid 1) sorts first.
+func chromeTid(worker int) int { return worker + 2 }
+
+// WriteChromeTrace renders the journal's spans as a Chrome trace-event
+// JSON document with one track per worker plus a "shared" track for
+// checkpoint and trace-cache events. Timestamps are normalized so the
+// earliest span starts at t=0.
+func (j *Journal) WriteChromeTrace(w io.Writer) error {
+	return writeChromeTrace(w, j.Snapshot())
+}
+
+// WriteChromeTraceFile writes the Chrome trace to path (0644, truncating).
+func (j *Journal) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := j.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("tracespan: writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+func writeChromeTrace(w io.Writer, spans []Span) error {
+	var base int64
+	for i := range spans {
+		if i == 0 || spans[i].StartUnixNano < base {
+			base = spans[i].StartUnixNano
+		}
+	}
+
+	// Collect worker ids into a sorted slice so metadata order (and the
+	// whole document) is deterministic regardless of map iteration.
+	seen := make(map[int]bool, 8)
+	for i := range spans {
+		seen[spans[i].Worker] = true
+	}
+	workers := make([]int, 0, len(seen))
+	for wk := range seen {
+		workers = append(workers, wk)
+	}
+	sort.Ints(workers)
+
+	events := make([]chromeEvent, 0, len(spans)+len(workers)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid, Tid: 0,
+		Args: map[string]string{"name": "bcache scheduler"},
+	})
+	for _, wk := range workers {
+		name := fmt.Sprintf("worker %d", wk)
+		if wk == SharedWorker {
+			name = "shared"
+		}
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: chromeTid(wk),
+			Args: map[string]string{"name": name},
+		})
+	}
+
+	for i := range spans {
+		s := &spans[i]
+		ev := chromeEvent{
+			Name: s.Name,
+			Ts:   float64(s.StartUnixNano-base) / 1e3,
+			Pid:  chromePid,
+			Tid:  chromeTid(s.Worker),
+			Cat:  s.Kind,
+		}
+		if ev.Name == "" {
+			ev.Name = s.Kind
+		}
+		if s.DurNanos > 0 {
+			ev.Ph = "X"
+			ev.Dur = float64(s.DurNanos) / 1e3
+		} else {
+			ev.Ph = "i"
+			ev.S = "t"
+		}
+		args := make(map[string]string, 4)
+		if s.Unit >= 0 {
+			args["unit"] = fmt.Sprintf("%d", s.Unit)
+		}
+		if s.Attempt > 0 {
+			args["attempt"] = fmt.Sprintf("%d", s.Attempt)
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if len(args) > 0 {
+			ev.Args = args
+		}
+		events = append(events, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

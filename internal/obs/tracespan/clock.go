@@ -1,0 +1,78 @@
+package tracespan
+
+import (
+	"sync"
+	"time"
+)
+
+// The determinism analyzer (internal/lint) bans direct wall-clock reads
+// inside internal/ packages: simulation results must be bit-identical
+// across runs. Telemetry, however, exists to measure wall time. Clock is
+// the audited seam between the two worlds: every real-time read in the
+// telemetry layer goes through a Clock value, the single time.Now inside
+// wallClock carries the one //bcachelint:allow for it, and tests inject
+// FakeClock to make timing-dependent behaviour (retry backoff, span
+// durations) exactly reproducible.
+
+// Clock supplies telemetry timestamps and backoff sleeps. Implementations
+// must be safe for concurrent use.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d (FakeClock advances instead of blocking).
+	Sleep(d time.Duration)
+}
+
+// Wall is the production clock.
+var Wall Clock = wallClock{}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time {
+	return time.Now() //bcachelint:allow determinism(clock seam: the sanctioned wall-clock read; telemetry timestamps never reach simulation results)
+}
+
+func (wallClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// FakeClock is a deterministic Clock for tests: Now returns a settable
+// instant and Sleep advances it instead of blocking, recording every
+// requested duration so tests can assert exact backoff schedules.
+type FakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the fake instant.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d without blocking and records d.
+func (c *FakeClock) Sleep(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+}
+
+// Advance moves the clock forward without recording a sleep.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Sleeps returns a copy of every duration passed to Sleep, in order.
+func (c *FakeClock) Sleeps() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}

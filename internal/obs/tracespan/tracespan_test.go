@@ -1,0 +1,241 @@
+package tracespan
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testClock() *FakeClock {
+	return NewFakeClock(time.Unix(1_700_000_000, 0))
+}
+
+func TestJournalRecordSnapshot(t *testing.T) {
+	clk := testClock()
+	j := NewJournal(8, clk)
+	j.Record(Span{Kind: KindUnit, Name: "a", Worker: 0, Unit: 0, DurNanos: 100})
+	clk.Advance(time.Millisecond)
+	j.Record(Span{Kind: KindRetry, Name: "a", Worker: 0, Unit: 0, Attempt: 1})
+
+	got := j.Snapshot()
+	if len(got) != 2 {
+		t.Fatalf("Snapshot len = %d, want 2", len(got))
+	}
+	if got[0].Kind != KindUnit || got[1].Kind != KindRetry {
+		t.Fatalf("kinds = %q, %q", got[0].Kind, got[1].Kind)
+	}
+	if got[0].StartUnixNano == 0 || got[1].StartUnixNano == 0 {
+		t.Fatalf("Record did not stamp StartUnixNano: %+v", got)
+	}
+	if got[1].StartUnixNano-got[0].StartUnixNano != int64(time.Millisecond) {
+		t.Fatalf("timestamps not from fake clock: %d vs %d", got[0].StartUnixNano, got[1].StartUnixNano)
+	}
+	if j.Recorded() != 2 || j.Dropped() != 0 {
+		t.Fatalf("Recorded=%d Dropped=%d, want 2, 0", j.Recorded(), j.Dropped())
+	}
+}
+
+func TestJournalRingWrap(t *testing.T) {
+	j := NewJournal(4, testClock())
+	for i := 0; i < 10; i++ {
+		j.Record(Span{Kind: KindUnit, Unit: i, Worker: 0})
+	}
+	got := j.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(got))
+	}
+	for i, s := range got {
+		if s.Unit != 6+i {
+			t.Fatalf("span %d Unit = %d, want %d (oldest dropped first)", i, s.Unit, 6+i)
+		}
+	}
+	if j.Recorded() != 10 {
+		t.Fatalf("Recorded = %d, want 10", j.Recorded())
+	}
+	if j.Dropped() != 6 {
+		t.Fatalf("Dropped = %d, want 6", j.Dropped())
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Record(Span{Kind: KindUnit})
+	if j.Len() != 0 || j.Recorded() != 0 || j.Dropped() != 0 {
+		t.Fatal("nil journal should report zeros")
+	}
+	if got := j.Snapshot(); got != nil {
+		t.Fatalf("nil journal Snapshot = %v, want nil", got)
+	}
+	if j.Clock() != Wall {
+		t.Fatal("nil journal Clock should fall back to Wall")
+	}
+}
+
+func TestJournalConcurrentRecord(t *testing.T) {
+	j := NewJournal(1024, testClock())
+	var wg sync.WaitGroup
+	const workers, per = 8, 100
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				j.Record(Span{Kind: KindUnit, Worker: w, Unit: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if j.Recorded() != workers*per {
+		t.Fatalf("Recorded = %d, want %d", j.Recorded(), workers*per)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	clk := testClock()
+	j := NewJournal(8, clk)
+	j.Record(Span{Kind: KindUnit, Name: "fig3/dm/seed0", Worker: 1, Unit: 3, DurNanos: 2500, Err: "boom"})
+	j.Record(Span{Kind: KindCheckpoint, Worker: SharedWorker, Unit: -1, Detail: "units=4 bytes=812"})
+
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf); err != nil {
+		t.Fatalf("WriteJSONL: %v", err)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3 (meta + 2 spans):\n%s", len(lines), buf.String())
+	}
+
+	meta, spans, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSONL: %v", err)
+	}
+	if meta.SchemaVersion != SchemaVersion || meta.Spans != 2 || meta.Recorded != 2 || meta.Dropped != 0 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if len(spans) != 2 {
+		t.Fatalf("spans = %d, want 2", len(spans))
+	}
+	if spans[0].Name != "fig3/dm/seed0" || spans[0].Err != "boom" || spans[0].DurNanos != 2500 {
+		t.Fatalf("span 0 round-trip mismatch: %+v", spans[0])
+	}
+	if spans[1].Unit != -1 || spans[1].Worker != SharedWorker {
+		t.Fatalf("span 1 round-trip mismatch: %+v", spans[1])
+	}
+}
+
+func TestReadJSONLRejectsSchemaMismatch(t *testing.T) {
+	in := `{"schemaVersion":99,"spans":0,"recorded":0,"dropped":0}` + "\n"
+	if _, _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Fatal("ReadJSONL accepted schema v99")
+	}
+}
+
+func TestChromeTraceOneTrackPerWorker(t *testing.T) {
+	clk := testClock()
+	j := NewJournal(32, clk)
+	base := clk.Now().UnixNano()
+	j.Record(Span{Kind: KindUnit, Name: "u0", Worker: 0, Unit: 0, StartUnixNano: base, DurNanos: 4000})
+	j.Record(Span{Kind: KindUnit, Name: "u1", Worker: 1, Unit: 1, StartUnixNano: base + 1000, DurNanos: 3000})
+	j.Record(Span{Kind: KindRetry, Name: "u1", Worker: 1, Unit: 1, Attempt: 1, StartUnixNano: base + 2000})
+	j.Record(Span{Kind: KindCheckpoint, Worker: SharedWorker, Unit: -1, StartUnixNano: base + 5000})
+
+	var buf bytes.Buffer
+	if err := j.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			S    string            `json:"s"`
+			Args map[string]string `json:"args"`
+			Cat  string            `json:"cat"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+
+	threadNames := map[int]string{}
+	var complete, instant int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames[ev.Tid] = ev.Args["name"]
+			}
+		case "X":
+			complete++
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event %q has dur %v", ev.Name, ev.Dur)
+			}
+		case "i":
+			instant++
+			if ev.S != "t" {
+				t.Fatalf("instant %q scope = %q, want t", ev.Name, ev.S)
+			}
+		default:
+			t.Fatalf("unexpected phase %q", ev.Ph)
+		}
+		if ev.Ph != "M" && ev.Ts < 0 {
+			t.Fatalf("event %q has negative ts %v", ev.Name, ev.Ts)
+		}
+	}
+	if complete != 2 || instant != 2 {
+		t.Fatalf("complete=%d instant=%d, want 2, 2", complete, instant)
+	}
+	// One track per worker: shared (tid 1), worker 0 (tid 2), worker 1 (tid 3).
+	want := map[int]string{1: "shared", 2: "worker 0", 3: "worker 1"}
+	for tid, name := range want {
+		if threadNames[tid] != name {
+			t.Fatalf("thread_name[%d] = %q, want %q (all: %v)", tid, threadNames[tid], name, threadNames)
+		}
+	}
+	// Timestamps normalized: earliest span at ts 0.
+	var minTs = -1.0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			continue
+		}
+		if minTs < 0 || ev.Ts < minTs {
+			minTs = ev.Ts
+		}
+	}
+	if minTs != 0 {
+		t.Fatalf("min ts = %v, want 0 (normalized)", minTs)
+	}
+}
+
+func TestFakeClockSleepAdvancesAndRecords(t *testing.T) {
+	clk := testClock()
+	t0 := clk.Now()
+	clk.Sleep(50 * time.Millisecond)
+	clk.Sleep(100 * time.Millisecond)
+	if got := clk.Now().Sub(t0); got != 150*time.Millisecond {
+		t.Fatalf("Now advanced by %v, want 150ms", got)
+	}
+	sleeps := clk.Sleeps()
+	if len(sleeps) != 2 || sleeps[0] != 50*time.Millisecond || sleeps[1] != 100*time.Millisecond {
+		t.Fatalf("Sleeps = %v", sleeps)
+	}
+}
+
+func BenchmarkJournalRecord(b *testing.B) {
+	j := NewJournal(1<<16, testClock())
+	s := Span{Kind: KindUnit, Name: "bench", Worker: 0, Unit: 1, StartUnixNano: 1, DurNanos: 10}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j.Record(s)
+	}
+}
