@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare telemetry-smoke clean
+.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare telemetry-smoke chaos clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -68,7 +68,20 @@ fmt-check:
 # echo` fallback so the recipe's exit status gates the build.
 ci: fmt-check vet lint build race-robust race
 	@$(MAKE) telemetry-smoke || echo "[telemetry-smoke] WARNING: live telemetry smoke failed (non-fatal; see above)"
+	@$(MAKE) chaos || echo "[chaos] WARNING: distributed-execution chaos suite failed (non-fatal; see above)"
 	@$(MAKE) bench-compare || echo "[bench-regression] WARNING: kernel throughput regressed >15% vs BENCH_perf.json (non-fatal; rerun 'make bench-compare' on a quiet box)"
+
+# chaos runs the distributed-execution kill/interrupt suite under -race:
+# worker subprocesses SIGKILLed mid-campaign, SIGINT drain, and
+# coordinator-crash shard recovery, each asserting bit-identical merges
+# against the sequential oracle (see internal/dist/distrun/chaos_test.go).
+# Non-fatal in ci for now — it forks real subprocesses, which some CI
+# sandboxes forbid. Promotion path to fatal: once it has a clean week in
+# CI logs, drop the `|| echo` fallback above so its exit status gates
+# the build.
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestSIGINT|TestMergeShardDir' ./internal/dist/distrun
+	$(GO) test -race -count=1 ./internal/dist
 
 # bench-compare replays the perfbench kernels and fails if any kernel's
 # accesses/sec regressed more than 15% against the committed baseline.

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
@@ -30,6 +31,7 @@ import (
 	"syscall"
 	"time"
 
+	"bcache/internal/dist/distrun"
 	"bcache/internal/experiment"
 	"bcache/internal/obs/metrics"
 )
@@ -53,12 +55,39 @@ func main() {
 		unitTimeout = flag.Duration("unit-timeout", 0, "abandon a single work unit running longer than this (0 = no deadline)")
 		unitRetries = flag.Int("unit-retries", 0, "retries for timed-out or transient work units")
 
+		workersProcs   = flag.Int("workers-procs", 0, "distribute plannable work units across this many worker subprocesses")
+		workerMode     = flag.Bool("worker", false, "run as a distribution worker speaking the lease protocol on stdin/stdout (spawned by -workers-procs)")
+		distDir        = flag.String("dist-dir", "", "directory for worker checkpoint shards (default: a temp dir)")
+		leaseTTL       = flag.Duration("lease-ttl", 0, "re-lease a worker's units after this long without a heartbeat (default 30s)")
+		workerRestarts = flag.Int("worker-restarts", 0, "times a dead worker subprocess is respawned (default 1)")
+		resumeShards   = flag.Bool("resume-shards", false, "merge shards already in -dist-dir into the checkpoint first (recovers a crashed coordinator)")
+
 		telemetry   = flag.String("telemetry", "", "serve live telemetry (/metrics, /progress, /debug/pprof) on this host:port (:0 picks a port)")
 		linger      = flag.Duration("telemetry-linger", 0, "keep the telemetry server up this long after the run (scrapers; SIGINT ends it early)")
 		traceOut    = flag.String("trace-out", "", "write the scheduler span journal as JSONL to this file")
 		traceChrome = flag.String("trace-chrome", "", "write the span journal as a Chrome trace-event file (chrome://tracing, Perfetto)")
 	)
 	flag.Parse()
+
+	// Worker mode: the whole process is one protocol session on
+	// stdin/stdout, spawned and supervised by a -workers-procs
+	// coordinator. SIGINT (forwarded to the worker's process group by
+	// the coordinator, or sent directly) drains the current unit and
+	// exits 130 — the same convention as an interrupted normal run.
+	if *workerMode {
+		stop := make(chan struct{})
+		sigc := make(chan os.Signal, 2)
+		signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+		go func() {
+			<-sigc
+			close(stop)
+			<-sigc
+			os.Exit(130)
+		}()
+		os.Exit(distrun.WorkerMain(os.Stdin, os.Stdout, stop, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}))
+	}
 
 	if *list {
 		for _, e := range experiment.All() {
@@ -102,6 +131,9 @@ func main() {
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
+			}
+			if w := ckpt.LoadWarning(); w != "" {
+				fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 			}
 			if n := ckpt.Len(); n > 0 {
 				fmt.Fprintf(os.Stderr, "resuming: %d completed units restored from %s\n", n, *ckptPath)
@@ -211,6 +243,79 @@ func main() {
 				os.Exit(2)
 			}
 			exps = append(exps, e)
+		}
+	}
+
+	// Distribution phase: farm every plannable work unit out to worker
+	// subprocesses first, merging their results into the checkpoint.
+	// The normal in-process loop below then finds each distributed unit
+	// already checkpointed, so the rendered tables are bit-identical to
+	// a single-process run; experiments without a Plan simply run
+	// in-process as always.
+	if *workersProcs > 0 {
+		if ckpt == nil {
+			ckpt = experiment.NewCheckpoint("")
+			opts.Checkpoint = ckpt
+		}
+		shardDir := *distDir
+		tempShards := false
+		if shardDir == "" {
+			if *resumeShards {
+				fmt.Fprintln(os.Stderr, "-resume-shards requires -dist-dir")
+				os.Exit(2)
+			}
+			var err error
+			shardDir, err = os.MkdirTemp("", "bcache-shards-")
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			tempShards = true
+		}
+		self, err := os.Executable()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var ids []string
+		if *runIDs != "" {
+			for _, e := range exps {
+				ids = append(ids, e.ID)
+			}
+		}
+		stats, err := distrun.RunCampaign(opts, ids, distrun.Options{
+			Workers: *workersProcs,
+			Command: func(slot, attempt int) *exec.Cmd {
+				cmd := exec.Command(self, "-worker")
+				cmd.Stderr = os.Stderr
+				return cmd
+			},
+			ShardDir:      shardDir,
+			LeaseTTL:      *leaseTTL,
+			RestartBudget: *workerRestarts,
+			ResumeShards:  *resumeShards,
+			Stop:          stopc,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if saveErr := ckpt.Save(); saveErr == nil && ckpt.Len() > 0 && *ckptPath != "" {
+				fmt.Fprintf(os.Stderr, "checkpoint saved: %d units in %s (continue with -resume)\n", ckpt.Len(), *ckptPath)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "dist: %d units — %d committed (%d shard-recovered, %d local), %d duplicates dropped; %d leases, %d expiries, %d restarts\n",
+			stats.Units, stats.Committed, stats.ShardRecovered, stats.LocalUnits,
+			stats.Duplicates, stats.Leases, stats.Expiries, stats.Restarts)
+		if n := len(stats.FailedUnits); n > 0 {
+			fmt.Fprintf(os.Stderr, "dist: %d units failed terminally; the in-process pass below re-attempts them\n", n)
+		}
+		if tempShards && !stats.Interrupted {
+			os.RemoveAll(shardDir)
+		} else if stats.Interrupted && *distDir != "" {
+			fmt.Fprintf(os.Stderr, "dist: shards kept in %s (continue with -resume-shards)\n", shardDir)
 		}
 	}
 

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"fmt"
+	"os/exec"
+	"sync"
+	"testing"
+	"time"
+)
+
+// memCommit collects committed records, guarding against double-commits.
+type memCommit struct {
+	mu      sync.Mutex
+	got     map[int][]Record
+	doubled []int
+}
+
+func newMemCommit() *memCommit { return &memCommit{got: map[int][]Record{}} }
+
+func (m *memCommit) commit(unit int, recs []Record) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, dup := m.got[unit]; dup {
+		m.doubled = append(m.doubled, unit)
+	}
+	m.got[unit] = recs
+	return nil
+}
+
+func (m *memCommit) len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.got)
+}
+
+func localExecFor(plan fakePlan) func(int) ([]Record, error) {
+	return func(unit int) ([]Record, error) { return plan.Exec(unit) }
+}
+
+// TestCoordinateZeroWorkersRunsLocally: Workers 0 is the degenerate
+// campaign — every unit executes in-process through LocalExec.
+func TestCoordinateZeroWorkersRunsLocally(t *testing.T) {
+	plan := fakePlan{n: 12}
+	mc := newMemCommit()
+	stats, err := Coordinate(Config{
+		Units:       plan.n,
+		Fingerprint: plan.Fingerprint(),
+		Workers:     0,
+		Commit:      mc.commit,
+		LocalExec:   localExecFor(plan),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed != 12 || stats.LocalUnits != 12 || mc.len() != 12 {
+		t.Fatalf("stats = %+v, committed map %d", stats, mc.len())
+	}
+	if len(mc.doubled) != 0 {
+		t.Fatalf("units committed twice: %v", mc.doubled)
+	}
+}
+
+// TestCoordinateZeroWorkersNoFallbackFails: with no workers and no
+// LocalExec there is nothing that can run the campaign.
+func TestCoordinateZeroWorkersNoFallbackFails(t *testing.T) {
+	_, err := Coordinate(Config{Units: 3, Workers: 0, Commit: func(int, []Record) error { return nil }})
+	if err == nil {
+		t.Fatal("campaign with no executor succeeded")
+	}
+}
+
+// TestCoordinateDegradesWhenAllWorkersDie: every subprocess exits
+// immediately without speaking the protocol; once restart budgets are
+// spent the coordinator falls back to local execution and still
+// completes every unit exactly once.
+func TestCoordinateDegradesWhenAllWorkersDie(t *testing.T) {
+	plan := fakePlan{n: 9}
+	mc := newMemCommit()
+	degraded := 0
+	stats, err := Coordinate(Config{
+		Units:       plan.n,
+		Fingerprint: plan.Fingerprint(),
+		Workers:     2,
+		ShardDir:    t.TempDir(),
+		Command: func(slot, attempt int) *exec.Cmd {
+			return exec.Command("false")
+		},
+		RestartBudget: 1,
+		LeaseTTL:      5 * time.Second,
+		Commit:        mc.commit,
+		LocalExec:     localExecFor(plan),
+		Events:        Events{Degraded: func(remaining int) { degraded = remaining }},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed != 9 || stats.LocalUnits != 9 || mc.len() != 9 {
+		t.Fatalf("stats = %+v, committed map %d", stats, mc.len())
+	}
+	if degraded != 9 {
+		t.Fatalf("Degraded hook saw %d remaining, want 9", degraded)
+	}
+	if stats.Restarts != 2 {
+		t.Fatalf("restarts = %d, want 2 (one per slot)", stats.Restarts)
+	}
+	if len(mc.doubled) != 0 {
+		t.Fatalf("units committed twice: %v", mc.doubled)
+	}
+}
+
+// TestCoordinateAlreadyDoneSkipsUnits: checkpoint-resumed units are
+// neither executed nor committed again.
+func TestCoordinateAlreadyDoneSkipsUnits(t *testing.T) {
+	plan := fakePlan{n: 10}
+	mc := newMemCommit()
+	stats, err := Coordinate(Config{
+		Units:       plan.n,
+		Fingerprint: plan.Fingerprint(),
+		Workers:     0,
+		AlreadyDone: func(u int) bool { return u%2 == 0 },
+		Commit:      mc.commit,
+		LocalExec:   localExecFor(plan),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed != 5 || mc.len() != 5 {
+		t.Fatalf("committed %d (map %d), want 5", stats.Committed, mc.len())
+	}
+	for u := range mc.got {
+		if u%2 == 0 {
+			t.Fatalf("resumed unit %d re-committed", u)
+		}
+	}
+}
+
+// TestCoordinateLocalFallbackRetriesAndReportsFailures: units that keep
+// failing locally exhaust their attempt budget and surface in
+// FailedUnits instead of hanging the campaign.
+func TestCoordinateLocalFallbackRetriesAndReportsFailures(t *testing.T) {
+	plan := fakePlan{n: 6, fail: map[int]bool{2: true, 4: true}}
+	mc := newMemCommit()
+	stats, err := Coordinate(Config{
+		Units:        plan.n,
+		Fingerprint:  plan.Fingerprint(),
+		Workers:      0,
+		UnitAttempts: 2,
+		Commit:       mc.commit,
+		LocalExec:    localExecFor(plan),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed != 4 || mc.len() != 4 {
+		t.Fatalf("committed %d, want 4", stats.Committed)
+	}
+	if fmt.Sprint(stats.FailedUnits) != "[2 4]" {
+		t.Fatalf("FailedUnits = %v, want [2 4]", stats.FailedUnits)
+	}
+}
+
+// TestCoordinateRejectsBadConfig: a campaign needs a commit sink.
+func TestCoordinateRejectsBadConfig(t *testing.T) {
+	if _, err := Coordinate(Config{Units: 1}); err == nil {
+		t.Fatal("Coordinate accepted a config without Commit")
+	}
+	if _, err := Coordinate(Config{Units: -1, Commit: func(int, []Record) error { return nil }}); err == nil {
+		t.Fatal("Coordinate accepted negative Units")
+	}
+}
+
+// TestCoordinateEmptyCampaign: zero units is a clean no-op even with
+// workers configured.
+func TestCoordinateEmptyCampaign(t *testing.T) {
+	stats, err := Coordinate(Config{
+		Units:   0,
+		Commit:  func(int, []Record) error { return nil },
+		Workers: 4,
+		Command: func(slot, attempt int) *exec.Cmd { return exec.Command("false") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Committed != 0 || stats.Leases != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+}

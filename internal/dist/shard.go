@@ -1,0 +1,139 @@
+package dist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// A shard is a worker's append-only crash log: every executed unit's
+// records are appended here *before* the result goes on the wire, so a
+// worker that dies between persist and report loses nothing — the
+// coordinator replays the shard. The format is built for torn tails:
+//
+//	header:  "BCSHARD1" | uint64 LE plan fingerprint
+//	record:  uint32 LE payload length | payload | uint64 LE FNV-1a(payload)
+//
+// Each record is appended with a single write(2), so a kill -9 tears at
+// most the final record; the reader keeps the checksummed prefix and
+// reports the torn tail rather than failing. The fingerprint in the
+// header pins the shard to one plan — a shard from a different campaign
+// is rejected, not merged.
+
+// shardMagic opens every shard file; the trailing 1 is the format version.
+const shardMagic = "BCSHARD1"
+
+// maxShardPayload bounds a single record, so a corrupt length prefix
+// cannot demand a gigantic allocation.
+const maxShardPayload = 64 << 20
+
+// fnv1a folds data through 64-bit FNV-1a — the same checksum the trace
+// cache and plan fingerprints use.
+func fnv1a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h = (h ^ uint64(b)) * prime
+	}
+	return h
+}
+
+// ShardPayload is the JSON payload of one shard record: the unit index
+// plus the records it committed.
+type ShardPayload struct {
+	Unit    int      `json:"unit"`
+	Records []Record `json:"records"`
+}
+
+// ShardWriter appends checksummed records to a shard file.
+type ShardWriter struct {
+	f *os.File
+}
+
+// CreateShard creates (truncating) a shard file whose header pins the
+// given plan fingerprint.
+func CreateShard(path string, fingerprint uint64) (*ShardWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	hdr := make([]byte, len(shardMagic)+8)
+	copy(hdr, shardMagic)
+	binary.LittleEndian.PutUint64(hdr[len(shardMagic):], fingerprint)
+	if _, err := f.Write(hdr); err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	return &ShardWriter{f: f}, nil
+}
+
+// Append persists one executed unit. The length prefix, payload, and
+// checksum go down in one write(2): either the whole record lands or the
+// reader sees a torn tail it can cleanly drop.
+func (w *ShardWriter) Append(p ShardPayload) error {
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, 4+len(payload)+8)
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	binary.LittleEndian.PutUint64(buf[4+len(payload):], fnv1a(payload))
+	_, err = w.f.Write(buf)
+	return err
+}
+
+// Close closes the underlying file.
+func (w *ShardWriter) Close() error { return w.f.Close() }
+
+// ErrShardTorn reports a shard whose tail was lost to a crash or
+// corruption; the records returned alongside it are the valid prefix.
+var ErrShardTorn = errors.New("dist: shard tail torn")
+
+// ReadShard returns every intact record of a shard, in append order. A
+// torn or corrupt tail returns the valid prefix plus ErrShardTorn — the
+// expected outcome of kill -9, not a failure. A missing file, a bad
+// header, or a fingerprint from another plan is a hard error: merging it
+// could poison the checkpoint.
+func ReadShard(path string, fingerprint uint64) ([]ShardPayload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(shardMagic)+8 || string(data[:len(shardMagic)]) != shardMagic {
+		return nil, fmt.Errorf("dist: %s is not a shard file", path)
+	}
+	got := binary.LittleEndian.Uint64(data[len(shardMagic):])
+	if got != fingerprint {
+		return nil, fmt.Errorf("dist: shard %s belongs to plan %016x, want %016x", path, got, fingerprint)
+	}
+	rest := data[len(shardMagic)+8:]
+	var out []ShardPayload
+	for len(rest) > 0 {
+		if len(rest) < 4 {
+			return out, ErrShardTorn
+		}
+		n := int(binary.LittleEndian.Uint32(rest))
+		if n > maxShardPayload || len(rest) < 4+n+8 {
+			return out, ErrShardTorn
+		}
+		payload := rest[4 : 4+n]
+		sum := binary.LittleEndian.Uint64(rest[4+n:])
+		if fnv1a(payload) != sum {
+			return out, ErrShardTorn
+		}
+		var p ShardPayload
+		if err := json.Unmarshal(payload, &p); err != nil {
+			return out, ErrShardTorn
+		}
+		out = append(out, p)
+		rest = rest[4+n+8:]
+	}
+	return out, nil
+}

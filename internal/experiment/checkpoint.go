@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -49,6 +50,9 @@ type Checkpoint struct {
 	// afterRecord, when set, observes the total record count after each
 	// Record — the hook the resume tests use to interrupt mid-run.
 	afterRecord func(total int)
+	// loadWarning describes a torn-file recovery performed by
+	// LoadCheckpoint ("" for clean loads); see LoadWarning.
+	loadWarning string
 }
 
 // NewCheckpoint returns an empty checkpoint bound to path ("" = purely
@@ -59,6 +63,13 @@ func NewCheckpoint(path string) *Checkpoint {
 
 // LoadCheckpoint reads a checkpoint from path. A missing file is not an
 // error — resuming a run that never started is an empty checkpoint.
+//
+// A torn file — truncated mid-write by a crash, or with a corrupted
+// tail — does not fail the resume: the valid prefix of complete unit
+// records is recovered and the loss is reported through LoadWarning, so
+// hours of completed units survive losing at most the trailing record.
+// Only a file whose schema version is unreadable or wrong is rejected;
+// resuming under the wrong schema would silently poison every table.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	c := NewCheckpoint(path)
 	data, err := os.ReadFile(path)
@@ -70,7 +81,18 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	}
 	var f checkpointFile
 	if err := json.Unmarshal(data, &f); err != nil {
-		return nil, fmt.Errorf("experiment: parse checkpoint %s: %w", path, err)
+		ver, units, recErr := recoverCheckpointPrefix(data)
+		if recErr != nil {
+			return nil, fmt.Errorf("experiment: parse checkpoint %s: %w (prefix recovery: %v)", path, err, recErr)
+		}
+		if ver != CheckpointSchemaVersion {
+			return nil, fmt.Errorf("experiment: checkpoint %s is schema v%d, this build reads v%d",
+				path, ver, CheckpointSchemaVersion)
+		}
+		c.units = units
+		c.loadWarning = fmt.Sprintf("checkpoint %s is torn (%v); recovered the valid prefix of %d units",
+			path, err, len(units))
+		return c, nil
 	}
 	if f.SchemaVersion != CheckpointSchemaVersion {
 		return nil, fmt.Errorf("experiment: checkpoint %s is schema v%d, this build reads v%d",
@@ -80,6 +102,88 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 		c.units = f.Units
 	}
 	return c, nil
+}
+
+// recoverCheckpointPrefix walks a torn checkpoint token by token and
+// keeps every complete unit record before the first decode error. The
+// schema version must parse — a prefix so short it lost the version (or
+// a file that is not a checkpoint at all) is unrecoverable, because
+// resuming it would be a guess, not a recovery. Unit records are only
+// kept when their key and value both decoded, so a record cut mid-value
+// is dropped, not half-restored.
+func recoverCheckpointPrefix(data []byte) (schemaVersion int, units map[string]UnitResult, err error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if tok, terr := dec.Token(); terr != nil || tok != json.Delim('{') {
+		return 0, nil, fmt.Errorf("no top-level object")
+	}
+	units = map[string]UnitResult{}
+	sawVersion := false
+	for {
+		tok, terr := dec.Token()
+		if terr != nil {
+			break
+		}
+		key, ok := tok.(string)
+		if !ok {
+			break // closing delimiter or corruption; stop either way
+		}
+		switch key {
+		case "schemaVersion":
+			if derr := dec.Decode(&schemaVersion); derr != nil {
+				return 0, nil, fmt.Errorf("schema version unreadable")
+			}
+			sawVersion = true
+		case "units":
+			if tok, terr := dec.Token(); terr != nil || tok != json.Delim('{') {
+				return finishRecovery(schemaVersion, units, sawVersion)
+			}
+			for dec.More() {
+				ktok, kerr := dec.Token()
+				if kerr != nil {
+					return finishRecovery(schemaVersion, units, sawVersion)
+				}
+				ukey, ok := ktok.(string)
+				if !ok {
+					return finishRecovery(schemaVersion, units, sawVersion)
+				}
+				var u UnitResult
+				if derr := dec.Decode(&u); derr != nil {
+					return finishRecovery(schemaVersion, units, sawVersion)
+				}
+				units[ukey] = u
+			}
+			if tok, terr := dec.Token(); terr != nil || tok != json.Delim('}') {
+				return finishRecovery(schemaVersion, units, sawVersion)
+			}
+		default:
+			// Unknown field (a future minor addition): skip its value.
+			var skip json.RawMessage
+			if derr := dec.Decode(&skip); derr != nil {
+				return finishRecovery(schemaVersion, units, sawVersion)
+			}
+		}
+	}
+	return finishRecovery(schemaVersion, units, sawVersion)
+}
+
+// finishRecovery applies the one hard requirement of a recovery — the
+// schema version must have been read — and returns the kept prefix.
+func finishRecovery(ver int, units map[string]UnitResult, sawVersion bool) (int, map[string]UnitResult, error) {
+	if !sawVersion {
+		return 0, nil, fmt.Errorf("schema version missing from recoverable prefix")
+	}
+	return ver, units, nil
+}
+
+// LoadWarning reports how a torn checkpoint was recovered ("" for a
+// clean load); callers surface it to the user.
+func (c *Checkpoint) LoadWarning() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.loadWarning
 }
 
 // SetAutosave flushes the checkpoint to disk after every n new records.

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"bcache/internal/obs/metrics"
+	"bcache/internal/obs/tracespan"
+)
+
+// TestDistMetricsExposition: the distribution counters render as valid
+// OpenMetrics under their documented series names — the contract the
+// scrape dashboards key on.
+func TestDistMetricsExposition(t *testing.T) {
+	tel, _ := withTelemetry(t)
+	tel.DistLeaseGranted(0, 1, 0, 8)
+	tel.DistLeaseGranted(1, 2, 8, 16)
+	tel.DistLeaseExpired(0, 1, 8)
+	tel.DistWorkerAttached(1)
+	tel.DistWorkerAttached(1)
+	tel.DistWorkerAttached(-1)
+	tel.DistWorkerRestarted(0, 1)
+	tel.DistShardMerged(0, 6, 2, 40*time.Millisecond)
+	tel.DistDuplicateDropped(3)
+
+	var buf bytes.Buffer
+	if err := tel.Registry().WriteOpenMetrics(&buf); err != nil {
+		t.Fatalf("WriteOpenMetrics: %v", err)
+	}
+	text := buf.String()
+	if err := metrics.ValidateExposition(text); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, text)
+	}
+	for _, want := range []string{
+		"dist_leases_granted_total 2",
+		"dist_releases_total 1",
+		"dist_worker_restarts_total 1",
+		"dist_duplicates_dropped_total 1",
+		"dist_shard_recovered_units_total 2",
+		"dist_workers_live 1",
+		"dist_shard_merge_seconds_bucket",
+		"dist_shard_merge_seconds_count 1",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Each lifecycle event also lands one span of its kind.
+	for kind, want := range map[string]int{
+		tracespan.KindLease:         2,
+		tracespan.KindLeaseExpire:   1,
+		tracespan.KindWorkerRestart: 1,
+		tracespan.KindShardMerge:    1,
+	} {
+		if got := len(spansOfKind(tel.Journal(), kind)); got != want {
+			t.Errorf("%s spans = %d, want %d", kind, got, want)
+		}
+	}
+}
+
+// TestDistTelemetryNilSafe: the Dist* hooks follow the hub's nil-receiver
+// convention so dist code never guards its telemetry calls.
+func TestDistTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.DistLeaseGranted(0, 1, 0, 4)
+	tel.DistLeaseExpired(0, 1, 4)
+	tel.DistWorkerAttached(1)
+	tel.DistWorkerRestarted(0, 1)
+	tel.DistShardMerged(0, 1, 0, time.Millisecond)
+	tel.DistDuplicateDropped(0)
+}

@@ -555,7 +555,17 @@ func init() {
 		ID:    "xline",
 		Title: "Line-size sensitivity: B-Cache reductions at 16/32/64-byte lines",
 		Run:   runXLine,
+		Plan:  planXLine,
 	})
+}
+
+// xLineSpecs returns the three configurations runXLine compares.
+func xLineSpecs() []Spec {
+	return []Spec{
+		setAssocSpec(4, energy.Way4),
+		setAssocSpec(8, energy.Way8),
+		bcacheSpec(8, 8, cache.LRU),
+	}
 }
 
 // runXLine re-runs the Figure 4 averages with different line sizes: the
@@ -565,11 +575,7 @@ func runXLine(opts Opts) ([]*Table, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	specs := []Spec{
-		setAssocSpec(4, energy.Way4),
-		setAssocSpec(8, energy.Way8),
-		bcacheSpec(8, 8, cache.LRU),
-	}
+	specs := xLineSpecs()
 	t := &Table{
 		ID:    "xline",
 		Title: "Average D$ miss-rate reduction vs line size (16kB)",

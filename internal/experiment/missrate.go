@@ -16,16 +16,19 @@ func init() {
 		ID:    "fig4",
 		Title: "Data cache miss rate reductions, 16kB (2/4/8/32-way, victim16, B-Cache MF=2..16 BAS=8)",
 		Run:   runFig4,
+		Plan:  planFig4,
 	})
 	register(Experiment{
 		ID:    "fig5",
 		Title: "Instruction cache miss rate reductions, 16kB (reported benchmarks)",
 		Run:   runFig5,
+		Plan:  planFig5,
 	})
 	register(Experiment{
 		ID:    "fig12",
 		Title: "Miss rate reductions at 8kB and 32kB (12 configurations)",
 		Run:   runFig12,
+		Plan:  planFig12,
 	})
 }
 
@@ -96,12 +99,7 @@ func runFig4(opts Opts) ([]*Table, error) {
 
 func runFig5(opts Opts) ([]*Table, error) {
 	specs := figureSpecs()
-	var reported []*workload.Profile
-	for _, p := range workload.All() {
-		if workload.IsReportedICache(p.Name) {
-			reported = append(reported, p)
-		}
-	}
+	reported := reportedICacheProfiles()
 	res, err := missRates(opts, reported, specs, iSide)
 	if err != nil && len(res) == 0 {
 		return nil, err
@@ -147,12 +145,7 @@ func runFig12(opts Opts) ([]*Table, error) {
 		}{{dSide, "D$"}, {iSide, "I$"}} {
 			profiles := all
 			if s.side == iSide {
-				profiles = nil
-				for _, p := range all {
-					if workload.IsReportedICache(p.Name) {
-						profiles = append(profiles, p)
-					}
-				}
+				profiles = reportedICacheProfiles()
 			}
 			res, err := missRates(o, profiles, specs, s.side)
 			if err != nil {

@@ -1,0 +1,82 @@
+package experiment
+
+import (
+	"testing"
+)
+
+// tinyPlanOpts is the smallest scale the campaign planner and scheduler
+// both accept, with an in-memory checkpoint attached.
+func tinyPlanOpts() Opts {
+	opts := DefaultOpts()
+	opts.Instructions = 60_000
+	opts.Checkpoint = NewCheckpoint("")
+	return opts
+}
+
+// TestMissRatesCheckpointsEveryProfiledSpec is the regression test for a
+// bug where the profiling job built its checkpoint keys in the same loop
+// that breaks on the first cache miss: on a fresh checkpoint the later
+// LRU specs were recorded under the empty key, silently dropping them
+// from resumes and desynchronizing the sequential checkpoint from the
+// distributed plan's.
+func TestMissRatesCheckpointsEveryProfiledSpec(t *testing.T) {
+	opts := tinyPlanOpts()
+	profiles := reportedICacheProfiles()[:1]
+	all := append([]Spec{baselineSpec()}, figureSpecs()...)
+	lru, _ := lruSpecIndices(opts, all)
+	if len(lru) < 2 {
+		t.Fatalf("test needs >= 2 profileable specs, have %d", len(lru))
+	}
+	if _, err := missRates(opts, profiles, figureSpecs(), iSide); err != nil {
+		t.Fatal(err)
+	}
+	cp := opts.Checkpoint
+	if _, ok := cp.Lookup(""); ok {
+		t.Error("checkpoint holds a unit under the empty key")
+	}
+	for _, si := range lru {
+		key := unitKey(opts, iSide, all[si].Name, 0, profiles[0].Name)
+		if _, ok := cp.Lookup(key); !ok {
+			t.Errorf("profiled spec %s not checkpointed (key %s)", all[si].Name, key)
+		}
+	}
+	if want := len(all) * len(profiles); cp.Len() != want {
+		t.Errorf("checkpoint holds %d units, want %d", cp.Len(), want)
+	}
+}
+
+// TestPlanCoversSequentialCheckpoint: after a sequential fig5 run, every
+// planned unit must be Done against its checkpoint and the checkpoint
+// must hold exactly the planned keys — the plan seam and the in-process
+// scheduler enumerate the same unit space, which is what makes the
+// distributed merge bit-identical.
+func TestPlanCoversSequentialCheckpoint(t *testing.T) {
+	opts := tinyPlanOpts()
+	e, err := ByID("fig5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	planOpts := opts
+	planOpts.Checkpoint = nil
+	plan, err := PlanCampaign(planOpts, []string{"fig5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Len() == 0 {
+		t.Fatal("fig5 plan is empty")
+	}
+	total := 0
+	for i := 0; i < plan.Len(); i++ {
+		if !plan.Done(i, opts.Checkpoint) {
+			t.Errorf("planned unit %d (%s) missing from the sequential checkpoint", i, plan.Key(i))
+		}
+		total += len(plan.UnitKeys(i))
+	}
+	if opts.Checkpoint.Len() != total {
+		t.Errorf("checkpoint holds %d keys, plan enumerates %d — unit spaces differ",
+			opts.Checkpoint.Len(), total)
+	}
+}

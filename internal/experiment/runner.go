@@ -323,6 +323,45 @@ func profileLRU(at *accessTrace, s side, opts Opts, all []Spec, lru []int) ([]Un
 	return out, nil
 }
 
+// execReplayUnit runs one (profile, seed, spec) replay: materialize (or
+// fetch) the trace, build the cache, replay the side, and return the raw
+// counters. It is the single execution path behind both the in-process
+// scheduler (missRates) and the distributed plan (plan.go), so a unit
+// computed in a worker subprocess is bit-identical to one computed here.
+func execReplayUnit(opts Opts, s side, p *workload.Profile, spec Spec, k int) (UnitResult, error) {
+	at, err := cachedTrace(opts, withSeed(p, k))
+	if err != nil {
+		return UnitResult{}, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	c, err := spec.New(opts.L1Size, opts.LineBytes)
+	if err != nil {
+		return UnitResult{}, fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
+	}
+	replay(at, c, s)
+	st := c.Stats()
+	u := UnitResult{Misses: st.Misses, Accesses: st.Accesses}
+	if bc, ok := c.(*core.BCache); ok {
+		pd := bc.PDStats()
+		u.PDHit, u.PDMiss = pd.MissPDHit, pd.MissPDMiss
+	}
+	return u, nil
+}
+
+// execProfileUnit runs one (profile, seed) stack-distance pass answering
+// every LRU spec in lru (indices into all) at once. Like execReplayUnit
+// it is shared between the in-process scheduler and the distributed plan.
+func execProfileUnit(opts Opts, s side, p *workload.Profile, all []Spec, lru []int, k int) ([]UnitResult, error) {
+	at, err := cachedTrace(opts, withSeed(p, k))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	res, err := profileLRU(at, s, opts, all, lru)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	}
+	return res, nil
+}
+
 // lruSpecIndices partitions all into stack-distance-profileable specs
 // (pure LRU set-associative shapes valid at the run's geometry) and the
 // rest, which replay individually.
@@ -418,20 +457,9 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 			if u, ok := cp.Lookup(key); ok {
 				return func() { units[idx], done[idx] = u, true }, nil
 			}
-			at, err := cachedTrace(opts, withSeed(p, j.k))
+			u, err := execReplayUnit(opts, s, p, spec, j.k)
 			if err != nil {
-				return nil, fmt.Errorf("%s: %w", p.Name, err)
-			}
-			c, err := spec.New(opts.L1Size, opts.LineBytes)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
-			}
-			replay(at, c, s)
-			st := c.Stats()
-			u := UnitResult{Misses: st.Misses, Accesses: st.Accesses}
-			if bc, ok := c.(*core.BCache); ok {
-				pd := bc.PDStats()
-				u.PDHit, u.PDMiss = pd.MissPDHit, pd.MissPDMiss
+				return nil, err
 			}
 			return func() {
 				units[idx], done[idx] = u, true
@@ -442,10 +470,12 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 
 		// Profiling job: one stack-distance pass, every LRU spec.
 		keys := make([]string, len(lru))
-		restored := make([]UnitResult, len(lru))
-		allHit := true
 		for x, si := range lru {
 			keys[x] = unitKey(opts, s, all[si].Name, j.k, p.Name)
+		}
+		restored := make([]UnitResult, len(lru))
+		allHit := true
+		for x := range keys {
 			u, ok := cp.Lookup(keys[x])
 			if !ok {
 				allHit = false
@@ -461,13 +491,9 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 				}
 			}, nil
 		}
-		at, err := cachedTrace(opts, withSeed(p, j.k))
+		res, err := execProfileUnit(opts, s, p, all, lru, j.k)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
-		}
-		res, err := profileLRU(at, s, opts, all, lru)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Name, err)
+			return nil, err
 		}
 		return func() {
 			for x, si := range lru {

@@ -19,17 +19,18 @@ func init() {
 		ID:    "table5",
 		Title: "Average D$ miss rate reduction at varied MF, BAS (and PD length)",
 		Run:   runTable5,
+		Plan:  planDesignSpace,
 	})
 	register(Experiment{
 		ID:    "table6",
 		Title: "PD hit rate during cache misses at varied MF, BAS (and PD length)",
 		Run:   runTable6,
+		Plan:  planDesignSpace,
 	})
 }
 
-// designSpace runs the MF × BAS sweep once and returns, per BAS, the
-// averaged reduction and PD hit rate per MF.
-func designSpace(opts Opts) (reductions, pdHits map[int]map[int]float64, err error) {
+// designSpecs returns the MF × BAS sweep configurations of Tables 5/6.
+func designSpecs() []Spec {
 	var specs []Spec
 	for _, bas := range []int{4, 8} {
 		for _, mf := range []int{2, 4, 8, 16} {
@@ -38,6 +39,13 @@ func designSpace(opts Opts) (reductions, pdHits map[int]map[int]float64, err err
 			specs = append(specs, s)
 		}
 	}
+	return specs
+}
+
+// designSpace runs the MF × BAS sweep once and returns, per BAS, the
+// averaged reduction and PD hit rate per MF.
+func designSpace(opts Opts) (reductions, pdHits map[int]map[int]float64, err error) {
+	specs := designSpecs()
 	all := workload.All()
 	res, err := missRates(opts, all, specs, dSide)
 	if err != nil {

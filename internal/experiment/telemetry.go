@@ -115,6 +115,14 @@ type Telemetry struct {
 	traceCacheBytes *metrics.Gauge
 	unitWall        *metrics.Histogram
 
+	distLeases     *metrics.Counter
+	distReleases   *metrics.Counter
+	distRestarts   *metrics.Counter
+	distDuplicates *metrics.Counter
+	distRecovered  *metrics.Counter
+	distWorkers    *metrics.Gauge
+	distShardMerge *metrics.Histogram
+
 	mu         sync.Mutex
 	experiment string
 	durs       []float64
@@ -151,9 +159,21 @@ func NewTelemetry(journalCap int, clock tracespan.Clock) *Telemetry {
 		checkpointBytes: reg.Gauge("bcache_checkpoint_bytes", "size of the last checkpoint file written"),
 		traceCacheBytes: reg.Gauge("bcache_trace_cache_bytes", "bytes held by the shared trace cache"),
 		unitWall:        reg.Histogram("bcache_unit_wall_seconds", "wall time per work unit attempt", unitWallBounds),
+
+		distLeases:     reg.Counter("dist_leases_granted", "unit-range leases granted to worker subprocesses"),
+		distReleases:   reg.Counter("dist_releases", "leases released back to the pool (expiry or worker death)"),
+		distRestarts:   reg.Counter("dist_worker_restarts", "dead worker subprocesses respawned"),
+		distDuplicates: reg.Counter("dist_duplicates_dropped", "re-leased unit completions dropped (first commit wins)"),
+		distRecovered:  reg.Counter("dist_shard_recovered_units", "units recovered from dead workers' shards"),
+		distWorkers:    reg.Gauge("dist_workers_live", "worker subprocesses currently attached"),
+		distShardMerge: reg.Histogram("dist_shard_merge_seconds", "wall time merging one worker shard", distMergeBounds),
 	}
 	return t
 }
+
+// distMergeBounds are the shard-merge histogram buckets in seconds:
+// merges are small file reads, so the interesting range is sub-second.
+var distMergeBounds = []float64{0.0001, 0.001, 0.01, 0.05, 0.1, 0.5, 1, 5}
 
 // Journal returns the span journal (for -trace-out exports).
 func (t *Telemetry) Journal() *tracespan.Journal {
@@ -396,4 +416,76 @@ func (t *Telemetry) traceCacheEvent(kind, name string, start time.Time, dur time
 		s.StartUnixNano = start.UnixNano()
 	}
 	t.journal.Record(s)
+}
+
+// The Dist* methods observe the distributed coordinator (internal/dist)
+// through its Events hooks — cmd/experiments wires them up. All are
+// nil-safe like the rest of the hub.
+
+// DistLeaseGranted records a unit-range lease going to a worker slot.
+func (t *Telemetry) DistLeaseGranted(worker, leaseID, start, end int) {
+	if t == nil {
+		return
+	}
+	t.distLeases.Inc()
+	t.journal.Record(tracespan.Span{
+		Kind: tracespan.KindLease, Worker: worker, Unit: -1, Attempt: leaseID,
+		Detail: fmt.Sprintf("units=%d-%d", start, end),
+	})
+}
+
+// DistLeaseExpired records a lease missing its deadline; returned units
+// go back to the pool for re-lease.
+func (t *Telemetry) DistLeaseExpired(worker, leaseID, returned int) {
+	if t == nil {
+		return
+	}
+	t.distReleases.Inc()
+	t.journal.Record(tracespan.Span{
+		Kind: tracespan.KindLeaseExpire, Worker: worker, Unit: -1, Attempt: leaseID,
+		Detail: fmt.Sprintf("returned=%d", returned),
+	})
+}
+
+// DistWorkerAttached moves the live-workers gauge as subprocesses come
+// and go (delta is +1 on start, -1 on exit).
+func (t *Telemetry) DistWorkerAttached(delta int) {
+	if t == nil {
+		return
+	}
+	t.distWorkers.Add(float64(delta))
+}
+
+// DistWorkerRestarted records a dead worker slot being respawned.
+func (t *Telemetry) DistWorkerRestarted(worker, attempt int) {
+	if t == nil {
+		return
+	}
+	t.distRestarts.Inc()
+	t.journal.Record(tracespan.Span{
+		Kind: tracespan.KindWorkerRestart, Worker: worker, Unit: -1, Attempt: attempt,
+	})
+}
+
+// DistShardMerged records one worker shard merge: how many records it
+// held, how many units only the shard knew about, and the merge time.
+func (t *Telemetry) DistShardMerged(worker, records, recovered int, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	t.distRecovered.Add(uint64(recovered))
+	t.distShardMerge.Observe(dur.Seconds())
+	t.journal.Record(tracespan.Span{
+		Kind: tracespan.KindShardMerge, Worker: worker, Unit: -1, DurNanos: int64(dur),
+		Detail: fmt.Sprintf("records=%d recovered=%d", records, recovered),
+	})
+}
+
+// DistDuplicateDropped records a re-leased unit completing twice; the
+// second completion is dropped, never re-applied.
+func (t *Telemetry) DistDuplicateDropped(unit int) {
+	if t == nil {
+		return
+	}
+	t.distDuplicates.Inc()
 }

@@ -1,0 +1,46 @@
+// Package c exercises the probe contract in the shape the distribution
+// layer uses it: a coordinator-like type carrying an optional Probe of
+// lifecycle observations (lease grants, worker exits), emitted from an
+// event loop. The rules are the same as the cache hot path — nil-guard
+// every emission, never allocate an argument — because a campaign with
+// telemetry detached must not pay for observation.
+package c
+
+// Probe is the fixture stand-in for an events sink.
+type Probe interface {
+	ObserveLease(worker, start, end int)
+	ObserveExit(slot int, detail any)
+}
+
+type coord struct {
+	probe Probe
+}
+
+type exitDetail struct{ code int }
+
+// grant is the compliant emission from the event loop.
+func (c *coord) grant(worker, start, end int) {
+	if c.probe != nil {
+		c.probe.ObserveLease(worker, start, end)
+	}
+}
+
+// exitUnguarded emits without the nil check.
+func (c *coord) exitUnguarded(slot int) {
+	c.probe.ObserveExit(slot, nil) // want "not enclosed in an .if c.probe != nil. guard"
+}
+
+// exitAllocates guards correctly but builds a composite literal per
+// emission.
+func (c *coord) exitAllocates(slot, code int) {
+	if c.probe != nil {
+		c.probe.ObserveExit(slot, &exitDetail{code: code}) // want `probesafe: probe emission argument is a pointer to composite literal`
+	}
+}
+
+// exitReused passes a pre-built detail; nothing allocates per call.
+func (c *coord) exitReused(slot int, d *exitDetail) {
+	if c.probe != nil {
+		c.probe.ObserveExit(slot, d)
+	}
+}

@@ -50,6 +50,18 @@ const (
 	KindTraceRebuild = "trace_rebuild"
 	// KindExperiment is one whole experiment from the CLI's perspective.
 	KindExperiment = "experiment"
+	// KindLease marks a distributed lease being granted (Detail carries
+	// the unit range; Worker the subprocess slot).
+	KindLease = "lease"
+	// KindLeaseExpire marks a lease missing its deadline and its units
+	// returning to the pool.
+	KindLeaseExpire = "lease_expire"
+	// KindWorkerRestart marks a dead worker subprocess being respawned
+	// (Attempt carries the incarnation number).
+	KindWorkerRestart = "worker_restart"
+	// KindShardMerge marks a worker's checkpoint shard being merged
+	// (Detail carries records/recovered counts).
+	KindShardMerge = "shard_merge"
 )
 
 // SharedWorker is the Worker value for spans not owned by one scheduler
