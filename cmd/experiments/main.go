@@ -59,7 +59,7 @@ func main() {
 		workerMode     = flag.Bool("worker", false, "run as a distribution worker speaking the lease protocol on stdin/stdout (spawned by -workers-procs)")
 		distDir        = flag.String("dist-dir", "", "directory for worker checkpoint shards (default: a temp dir)")
 		leaseTTL       = flag.Duration("lease-ttl", 0, "re-lease a worker's units after this long without a heartbeat (default 30s)")
-		workerRestarts = flag.Int("worker-restarts", 0, "times a dead worker subprocess is respawned (default 1)")
+		workerRestarts = flag.Int("worker-restarts", 1, "times a dead worker subprocess is respawned (0 disables restarts)")
 		resumeShards   = flag.Bool("resume-shards", false, "merge shards already in -dist-dir into the checkpoint first (recovers a crashed coordinator)")
 
 		telemetry   = flag.String("telemetry", "", "serve live telemetry (/metrics, /progress, /debug/pprof) on this host:port (:0 picks a port)")
@@ -312,9 +312,13 @@ func main() {
 		if n := len(stats.FailedUnits); n > 0 {
 			fmt.Fprintf(os.Stderr, "dist: %d units failed terminally; the in-process pass below re-attempts them\n", n)
 		}
-		if tempShards && !stats.Interrupted {
-			os.RemoveAll(shardDir)
-		} else if stats.Interrupted && *distDir != "" {
+		if !stats.Interrupted {
+			if tempShards {
+				os.RemoveAll(shardDir)
+			}
+		} else if tempShards {
+			fmt.Fprintf(os.Stderr, "dist: shards kept in %s (resume with -dist-dir %s -resume-shards)\n", shardDir, shardDir)
+		} else {
 			fmt.Fprintf(os.Stderr, "dist: shards kept in %s (continue with -resume-shards)\n", shardDir)
 		}
 	}

@@ -65,8 +65,9 @@ type Config struct {
 	// clamped to [1, 32] — small enough to re-lease cheaply, large
 	// enough to amortize the round trip).
 	ChunkMax int
-	// RestartBudget is how many times a dead worker slot is respawned
-	// (default 1). UnitAttempts bounds execution failures per unit
+	// RestartBudget is how many times a dead worker slot is respawned;
+	// 0 (the zero value) means never — its units go straight to
+	// survivors. UnitAttempts bounds execution failures per unit
 	// (default 3).
 	RestartBudget int
 	UnitAttempts  int
@@ -128,6 +129,7 @@ type workerProc struct {
 	alive     bool
 	greeted   bool
 	draining  bool
+	doomed    bool // SIGKILLed for a missed deadline; exit event pending
 }
 
 type coordinator struct {
@@ -182,8 +184,6 @@ func Coordinate(cfg Config) (Stats, error) {
 	}
 	if cfg.RestartBudget < 0 {
 		cfg.RestartBudget = 0
-	} else if cfg.RestartBudget == 0 {
-		cfg.RestartBudget = 1
 	}
 
 	c := &coordinator{
@@ -345,6 +345,12 @@ func (c *coordinator) runLocal(degraded bool) error {
 			return nil
 		}
 		for _, u := range rem {
+			select {
+			case <-c.cfg.Stop:
+				c.stats.Interrupted = true
+				return nil
+			default:
+			}
 			recs, err := c.cfg.LocalExec(u)
 			if err != nil {
 				c.table.fail(u)
@@ -454,7 +460,7 @@ func (c *coordinator) liveCount() int {
 // idles (its units may still come back from an expiry elsewhere).
 func (c *coordinator) grantTo(slot int) {
 	p := c.procs[slot]
-	if p == nil || !p.alive || p.draining {
+	if p == nil || !p.alive || p.draining || p.doomed {
 		return
 	}
 	l, ok := c.table.grant(slot, c.cfg.ChunkMax, c.clk.Now(), c.cfg.LeaseTTL)
@@ -469,6 +475,26 @@ func (c *coordinator) grantTo(slot int) {
 		// Dead pipe: the exit event will reclaim the lease with the rest
 		// of the worker's state.
 		c.logf("dist: worker %d lease write failed: %v", slot, err)
+	}
+}
+
+// regrantIdle offers pending work to every live idle worker. The normal
+// grant sites — MsgHello and MsgLeaseDone — only cover a worker's own
+// lifecycle; when units return to pending from someone *else's* failure
+// (a worker dead past its restart budget, a failed respawn, an expired
+// lease) the survivors may all be idle, having been granted nothing at
+// their last LeaseDone, and no future message from them would re-offer
+// work. This sweep is what makes "units go to survivors" true instead
+// of hanging the campaign with work pending and workers parked.
+func (c *coordinator) regrantIdle() {
+	for slot, p := range c.procs {
+		if p == nil || !p.alive || !p.greeted || p.draining || p.doomed {
+			continue
+		}
+		if c.table.hasLease(slot) {
+			continue
+		}
+		c.grantTo(slot)
 	}
 }
 
@@ -551,9 +577,13 @@ func (c *coordinator) handleExit(slot int, waitErr error, draining bool) {
 		if err := c.spawn(slot, p.attempt+1); err != nil {
 			c.logf("dist: worker %d restart failed: %v", slot, err)
 		}
-		return
+	} else {
+		c.logf("dist: worker %d out of restart budget; its units go to survivors", slot)
 	}
-	c.logf("dist: worker %d out of restart budget; its units go to survivors", slot)
+	// The death above may have returned units to pending (and shard merge
+	// may have shrunk that set); survivors idling since an empty-handed
+	// LeaseDone get no other chance to pick them up.
+	c.regrantIdle()
 }
 
 // mergeShard replays a worker's shard file, committing any unit that was
@@ -617,9 +647,15 @@ func (c *coordinator) handleExpiries() {
 		c.logf("dist: lease %d (worker %d, units %d-%d) expired; %d units re-leased",
 			l.ID, l.Worker, l.Start, l.End, returned)
 		if p := c.procs[l.Worker]; p != nil && p.alive {
+			// doomed keeps the slot from being re-granted work in the
+			// window between the kill and its exit event.
+			p.doomed = true
 			killGroup(p.pid, syscall.SIGKILL)
 		}
 	}
+	// Expired units are pending again; hand them to idle survivors now
+	// rather than waiting for a LeaseDone that may never come.
+	c.regrantIdle()
 }
 
 // drainAll asks every live worker to finish up and arms the drain

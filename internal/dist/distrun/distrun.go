@@ -157,8 +157,9 @@ type Options struct {
 	Command func(slot, attempt int) *exec.Cmd
 	// ShardDir holds the per-worker shard files.
 	ShardDir string
-	// LeaseTTL, DrainWindow, RestartBudget tune fault handling
-	// (zero = dist defaults).
+	// LeaseTTL and DrainWindow tune fault handling (zero = dist
+	// defaults); RestartBudget is how many times a dead worker is
+	// respawned (0 = never).
 	LeaseTTL      time.Duration
 	DrainWindow   time.Duration
 	RestartBudget int

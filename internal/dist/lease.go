@@ -185,6 +185,16 @@ func (t *leaseTable) releaseWorker(worker int) (returned int) {
 	return returned
 }
 
+// hasLease reports whether worker holds any live lease.
+func (t *leaseTable) hasLease(worker int) bool {
+	for _, l := range t.leases {
+		if l.Worker == worker {
+			return true
+		}
+	}
+	return false
+}
+
 // expired returns the leases past their deadline at now, in lease-ID
 // order, without releasing them: the coordinator decides what to do with
 // the worker first.
