@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare telemetry-smoke chaos clean
+.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare mem-ceiling telemetry-smoke chaos clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -70,6 +70,7 @@ ci: fmt-check vet lint build race-robust race
 	@$(MAKE) telemetry-smoke || echo "[telemetry-smoke] WARNING: live telemetry smoke failed (non-fatal; see above)"
 	@$(MAKE) chaos || echo "[chaos] WARNING: distributed-execution chaos suite failed (non-fatal; see above)"
 	@$(MAKE) bench-compare || echo "[bench-regression] WARNING: kernel throughput regressed >15% vs BENCH_perf.json (non-fatal; rerun 'make bench-compare' on a quiet box)"
+	@$(MAKE) mem-ceiling || echo "[mem-ceiling] WARNING: suite resident trace-cache peak in BENCH_perf.json exceeds the 256 MiB budget (non-fatal; see above)"
 
 # chaos runs the distributed-execution kill/interrupt suite under -race:
 # worker subprocesses SIGKILLed mid-campaign, SIGINT drain, and
@@ -90,6 +91,18 @@ chaos:
 # time.
 bench-compare:
 	$(GO) run ./cmd/perfbench -compare BENCH_perf.json -kernel-accesses 10000000
+
+# mem-ceiling checks the resident trace-cache peak recorded by the last
+# `make bench-perf-json` suite pass against the 256 MiB budget (see
+# DESIGN.md §15). It reads the committed BENCH_perf.json only — the
+# recorded peak is deterministic per tree — so the check is instant.
+# Non-fatal in ci for now because a baseline regenerated on a branch
+# mid-rework may legitimately lag the code; promotion path to fatal:
+# once BENCH_perf.json is regenerated in the same PR as any allocation
+# change for a clean week, drop the `|| echo` fallback above so its
+# exit status gates the build.
+mem-ceiling:
+	$(GO) run ./cmd/perfbench -mem-ceiling BENCH_perf.json
 
 # telemetry-smoke drives the whole live-telemetry stack once: experiments
 # under -telemetry on an ephemeral port, /metrics + /progress scraped and

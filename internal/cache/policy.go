@@ -60,9 +60,12 @@ func NewPolicy(kind PolicyKind, ways int, src *rng.Source) Policy {
 	}
 }
 
-// lruPolicy tracks recency with a timestamp per way; ways are small
-// (≤ 32 in every configuration the paper evaluates) so a linear victim
-// scan is faster than maintaining a list.
+// lruPolicy tracks recency with a timestamp per way. The linear victim
+// scan is intentional, but only below the index crossover: sets with
+// faIndexMinWays (64) ways or more carry a stackdist.Index whose recency
+// list answers the LRU victim in O(1), so this scan only ever runs on
+// narrow sets — the paper's 2..32-way sweeps — where it beats
+// maintaining a list. TestIndexCrossover asserts the threshold.
 type lruPolicy struct {
 	stamp []uint64
 	clock uint64

@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"sync"
+
+	"bcache/internal/addr"
+)
+
+// Set-sharded parallel replay.
+//
+// Accesses to distinct sets of a set-associative cache are independent:
+// every piece of mutable state — tags, valid/dirty mask words, the
+// replacement policy, the hash index, and the per-frame statistic slots —
+// is owned by exactly one set, and (with per-set Random streams, see
+// NewSetAssoc) no decision reads another set's state. A replay sharded
+// by set index therefore produces bit-identical final state and counters
+// regardless of how the shards interleave, which lets one replay unit
+// use several cores instead of one.
+//
+// Each worker scans the full access slice but applies only the accesses
+// whose set lands in its shard (set & (shards-1) == worker), running
+// them through a shadow view of the cache that shares every per-set
+// array and differs only in its private Stats; the scalar counters — the
+// one piece of state all sets share — are merged after the join, in
+// worker order. The scan itself is cheap relative to Access, so
+// wall-clock approaches a 1/shards share per worker on wide caches.
+
+// MemAccess is one element of a replayable data stream: a byte address
+// plus its read/write direction, packed into one word (addr<<1 | write)
+// so a materialized stream costs 8 bytes per access instead of 16.
+// Addresses must fit in 63 bits; NewMemAccess rejects the top bit.
+type MemAccess uint64
+
+// NewMemAccess packs one data access.
+func NewMemAccess(a addr.Addr, write bool) MemAccess {
+	if a>>63 != 0 {
+		panic("cache: MemAccess address exceeds 63 bits")
+	}
+	m := MemAccess(a) << 1
+	if write {
+		m |= 1
+	}
+	return m
+}
+
+// Addr returns the byte address.
+func (m MemAccess) Addr() addr.Addr { return addr.Addr(m >> 1) }
+
+// Write reports the access direction.
+func (m MemAccess) Write() bool { return m&1 != 0 }
+
+// replayShardCap bounds the shard fan-out; beyond this the redundant
+// stream scans outweigh the extra cores.
+const replayShardCap = 16
+
+// ReplayShards replays one address stream — data (with write flags) or,
+// when data is nil, fetch (read-only) — through c using up to workers
+// goroutines sharded by set index. It reports false without replaying
+// anything when sharding is unavailable (a probe is attached, the cache
+// has a single set, or workers < 2); the caller then replays
+// sequentially. Results are bit-identical to a sequential replay: the
+// per-set independence argument above, plus deterministic per-set Random
+// streams, make every shard's outcome a function of its own accesses
+// alone.
+func (c *SetAssoc) ReplayShards(data []MemAccess, fetch []addr.Addr, workers int) bool {
+	shards := 1
+	for shards*2 <= workers && shards*2 <= c.geom.Sets && shards*2 <= replayShardCap {
+		shards *= 2
+	}
+	if shards < 2 || c.probe != nil {
+		return false
+	}
+	shardMask := addr.Addr(shards - 1)
+
+	shadows := make([]*SetAssoc, shards)
+	var wg sync.WaitGroup
+	for w := 0; w < shards; w++ {
+		// The shadow shares tags/valid/dirty/policies/idx with c — all
+		// per-set, all disjoint across shards — and takes private Stats.
+		shadow := *c
+		shadow.stats = NewStats(c.geom.Frames)
+		shadows[w] = &shadow
+		wg.Add(1)
+		go func(w int, sc *SetAssoc) {
+			defer wg.Done()
+			want := addr.Addr(w)
+			if data != nil {
+				for _, m := range data {
+					if m.Addr()>>sc.offBits&sc.idxMask&shardMask == want {
+						sc.Access(m.Addr(), m.Write())
+					}
+				}
+				return
+			}
+			for _, a := range fetch {
+				if a>>sc.offBits&sc.idxMask&shardMask == want {
+					sc.Access(a, false)
+				}
+			}
+		}(w, shadows[w])
+	}
+	wg.Wait()
+	for _, sc := range shadows {
+		c.stats.Merge(sc.stats)
+	}
+	return true
+}

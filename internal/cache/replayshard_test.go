@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+)
+
+// shardStream builds a data stream with write flags exercising every
+// set, including hot conflict reuse.
+func shardStream(n int, seed uint64) []MemAccess {
+	src := rng.New(seed)
+	out := make([]MemAccess, n)
+	for i := range out {
+		var a addr.Addr
+		switch src.Intn(3) {
+		case 0:
+			a = addr.Addr(src.Intn(1 << 14))
+		case 1:
+			a = addr.Addr(src.Intn(64)) * (1 << 16)
+		default:
+			a = addr.Addr(src.Intn(1 << 24))
+		}
+		out[i] = NewMemAccess(a, src.Intn(4) == 0)
+	}
+	return out
+}
+
+// TestReplayShardsMatchesSequential proves the set-sharded replay
+// bit-identical to a sequential one — full statistics and final
+// tag/valid/dirty state — for every policy kind, for narrow (scan) and
+// wide (indexed) sets, for data and fetch streams, across worker counts.
+func TestReplayShardsMatchesSequential(t *testing.T) {
+	data := shardStream(150000, 41)
+	fetch := make([]addr.Addr, len(data))
+	for i, m := range data {
+		fetch[i] = m.Addr()
+	}
+	for _, kind := range []PolicyKind{LRU, FIFO, Random} {
+		for _, ways := range []int{1, 8, 64} {
+			for _, workers := range []int{2, 3, 16, 64} {
+				t.Run(fmt.Sprintf("%v-%dway-w%d", kind, ways, workers), func(t *testing.T) {
+					seq, err := NewSetAssoc(16*1024, 32, ways, kind, rng.New(5))
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := NewSetAssoc(16*1024, 32, ways, kind, rng.New(5))
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, m := range data {
+						seq.Access(m.Addr(), m.Write())
+					}
+					if !par.ReplayShards(data, nil, workers) {
+						t.Fatal("sharded replay refused a shardable cache")
+					}
+					if !reflect.DeepEqual(seq.Stats(), par.Stats()) {
+						t.Fatalf("data stats diverged:\nseq: %+v\npar: %+v", seq.Stats(), par.Stats())
+					}
+					assertSameState(t, par, seq)
+
+					// Fetch (read-only) stream.
+					seqF, _ := NewSetAssoc(16*1024, 32, ways, kind, rng.New(5))
+					parF, _ := NewSetAssoc(16*1024, 32, ways, kind, rng.New(5))
+					for _, a := range fetch {
+						seqF.Access(a, false)
+					}
+					if !parF.ReplayShards(nil, fetch, workers) {
+						t.Fatal("sharded replay refused a fetch stream")
+					}
+					if !reflect.DeepEqual(seqF.Stats(), parF.Stats()) {
+						t.Fatalf("fetch stats diverged:\nseq: %+v\npar: %+v", seqF.Stats(), parF.Stats())
+					}
+					assertSameState(t, parF, seqF)
+				})
+			}
+		}
+	}
+}
+
+// TestReplayShardsRefusals: single-set caches, single workers, and
+// probed caches must fall back to the caller's sequential path.
+func TestReplayShardsRefusals(t *testing.T) {
+	fa, err := NewFullyAssoc(4096, 32, LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fa.ReplayShards(shardStream(10, 1), nil, 8) {
+		t.Fatal("sharded a single-set cache")
+	}
+	c, err := NewSetAssoc(16*1024, 32, 2, LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ReplayShards(shardStream(10, 1), nil, 1) {
+		t.Fatal("sharded with one worker")
+	}
+	c.SetProbe(countingProbe{})
+	if c.ReplayShards(shardStream(10, 1), nil, 8) {
+		t.Fatal("sharded a probed cache")
+	}
+	if c.Stats().Accesses != 0 {
+		t.Fatal("a refused replay must not consume the stream")
+	}
+}
+
+type countingProbe struct{}
+
+func (countingProbe) ObserveAccess(int, bool, bool)        {}
+func (countingProbe) ObservePD(bool)                       {}
+func (countingProbe) ObserveReprogram()                    {}
+func (countingProbe) ObserveEvict(bool)                    {}
+func (countingProbe) ObserveWriteback()                    {}
+func (countingProbe) ObserveFault(FaultDomain, FaultClass) {}
+func (countingProbe) ObserveScrub(int, bool)               {}

@@ -20,13 +20,16 @@ import (
 // Data contents are not simulated; only presence, identity, and
 // dirtiness matter to the functional model.
 //
-// Wide LRU sets additionally carry a hash index (stackdist.Index): a map
-// from tag to the way's node on an intrusive recency list, making both
-// the tag match and the LRU victim search O(1) instead of O(ways). The
+// Wide sets additionally carry a hash index (stackdist.Index): a map
+// from tag to the way's node on an intrusive recency list, making the
+// tag match — and, for LRU, the victim search — O(1) instead of
+// O(ways). FIFO and Random victims are already O(1) through the per-set
+// policy, so for those kinds the index serves purely as the tag map. The
 // index is a pure accelerator over the same tag/valid/dirty arrays — it
-// is dropped (with a recency handoff to the per-set policy) the moment
-// fault injection mutates those arrays underneath it, because a flipped
-// tag bit can create aliases a one-entry-per-tag map cannot represent.
+// is dropped (with a recency handoff to the per-set policy under LRU)
+// the moment fault injection mutates those arrays underneath it, because
+// a flipped tag bit can create aliases a one-entry-per-tag map cannot
+// represent.
 type SetAssoc struct {
 	geom Geometry
 	kind PolicyKind
@@ -53,17 +56,20 @@ type SetAssoc struct {
 	probe    Probe // nil unless observability is attached
 	name     string
 
-	// idx, when non-nil, holds one hash index per set (LRU sets at or
-	// above faIndexMinWays). While active it is the single source of
-	// recency truth; the per-set lruPolicy stamps stay untouched until
-	// dropIndex hands the order back.
+	// idx, when non-nil, holds one hash index per set (any policy at or
+	// above faIndexMinWays ways). Under LRU, while active it is the
+	// single source of recency truth; the per-set lruPolicy stamps stay
+	// untouched until dropIndex hands the order back. Under FIFO/Random
+	// the per-set policy keeps advancing normally and the index is only
+	// the O(1) tag map.
 	idx []*stackdist.Index
 }
 
-// faIndexMinWays is the associativity at which an LRU set gains a hash
-// index. Narrow sets (the paper's 2..32-way sweeps) stay on the bitmask
-// scan, which beats a map at that width; the 512-way fully-associative
-// extreme is ~30× faster indexed.
+// faIndexMinWays is the associativity at which a set gains a hash index.
+// Narrow sets (the paper's 2..32-way sweeps) stay on the bitmask scan,
+// which beats a map at that width; the 512-way fully-associative extreme
+// is ~30× faster indexed. TestIndexCrossover asserts this threshold for
+// every policy kind.
 const faIndexMinWays = 64
 
 var _ Cache = (*SetAssoc)(nil)
@@ -96,9 +102,17 @@ func NewSetAssoc(size, lineBytes, ways int, kind PolicyKind, src *rng.Source) (*
 		name:      fmt.Sprintf("%dkB-%dway-%s", size/1024, ways, kind),
 	}
 	for s := range c.policies {
-		c.policies[s] = NewPolicy(kind, ways, src)
+		ps := src
+		if kind == Random && src != nil {
+			// Each set draws from its own stream split off the caller's
+			// source, so per-set victim sequences are a function of the
+			// set alone — replaying sets in any order (or in parallel)
+			// yields bit-identical results.
+			ps = src.Split(uint64(s))
+		}
+		c.policies[s] = NewPolicy(kind, ways, ps)
 	}
-	if kind == LRU && ways >= faIndexMinWays {
+	if ways >= faIndexMinWays {
 		c.idx = make([]*stackdist.Index, geom.Sets)
 		for s := range c.idx {
 			c.idx[s] = stackdist.NewIndex(ways)
@@ -156,6 +170,14 @@ func (c *SetAssoc) findWay(set int, tag addr.Addr) int {
 		}
 		return -1
 	}
+	if c.geom.Ways == 1 {
+		// Direct-mapped: one way, one valid bit, one tag — the paper's
+		// dominant configuration skips the bitmask scan machinery.
+		if c.valid[set]&1 != 0 && c.tags[set] == tag {
+			return 0
+		}
+		return -1
+	}
 	base := set * c.geom.Ways
 	mbase := set * c.maskWords
 	for wi := 0; wi < c.maskWords; wi++ {
@@ -178,11 +200,14 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 	}
 	base := set * c.geom.Ways
 	mbase := set * c.maskWords
-	pol := c.policies[set]
 
-	// Hit path.
+	// Hit path. A 1-way set skips the recency update: Touch never draws
+	// randomness and a single way is always its own victim, so the
+	// policy state is unobservable there.
 	if w := c.findWay(set, tag); w >= 0 {
-		pol.Touch(w)
+		if c.geom.Ways > 1 {
+			c.policies[set].Touch(w)
+		}
 		if write {
 			c.dirty[mbase+w>>6] |= 1 << (w & 63)
 		}
@@ -203,7 +228,10 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 	}
 	var res Result
 	if way < 0 {
-		way = pol.Victim()
+		// Victim is consulted even for 1-way sets: a Random policy
+		// draws from the shared rng stream, and skipping the draw
+		// would shift every later pick.
+		way = c.policies[set].Victim()
 		res.Evicted = true
 		res.EvictedAddr = c.lineAddr(c.tags[base+way], set)
 		res.EvictedDirty = c.dirty[mbase+way>>6]&(1<<(way&63)) != 0
@@ -219,7 +247,9 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 	} else {
 		c.dirty[mbase+way>>6] &^= 1 << (way & 63)
 	}
-	pol.Touch(way)
+	if c.geom.Ways > 1 {
+		c.policies[set].Touch(way)
+	}
 	res.Frame = base + way
 	c.stats.Record(base+way, false, write)
 	if c.probe != nil {
@@ -230,11 +260,15 @@ func (c *SetAssoc) Access(a addr.Addr, write bool) Result {
 
 // accessIndexed is the Access path for sets carrying a hash index. It
 // maintains the same tag/valid/dirty arrays and statistics as the scan
-// path — only the tag match, the free-way choice, and the victim search
-// change, and each is provably the same decision the scan path makes:
-// ways fill in ascending order (nothing invalidates a line while the
-// index is active), so the next free way is the resident count, and the
-// recency-list tail is the minimum-stamp way the LRU policy would pick.
+// path — only the tag match, the free-way choice, and (for LRU) the
+// victim search change, and each is provably the same decision the scan
+// path makes: ways fill in ascending order (nothing invalidates a line
+// while the index is active), so the next free way is the resident
+// count, and the recency-list tail is the minimum-stamp way the LRU
+// policy would pick. FIFO and Random victims come from the per-set
+// policy exactly as on the scan path — their policies are O(1) already,
+// and keeping them advancing means dropIndex needs no state handoff —
+// with the index resolving the victim way's tag to its node.
 func (c *SetAssoc) accessIndexed(set int, tag addr.Addr, write bool) Result {
 	base := set * c.geom.Ways
 	mbase := set * c.maskWords
@@ -242,7 +276,9 @@ func (c *SetAssoc) accessIndexed(set int, tag addr.Addr, write bool) Result {
 
 	if n := ix.Get(tag); n != nil {
 		w := int(n.Val)
-		ix.Touch(n)
+		if c.kind == LRU {
+			ix.Touch(n)
+		}
 		if write {
 			c.dirty[mbase+w>>6] |= 1 << (w & 63)
 		}
@@ -259,6 +295,9 @@ func (c *SetAssoc) accessIndexed(set int, tag addr.Addr, write bool) Result {
 		way = ix.Len()
 	} else {
 		victim := ix.LRU()
+		if c.kind != LRU {
+			victim = ix.Get(c.tags[base+c.policies[set].Victim()])
+		}
 		way = int(victim.Val)
 		ix.Remove(victim)
 		res.Evicted = true
@@ -286,18 +325,22 @@ func (c *SetAssoc) accessIndexed(set int, tag addr.Addr, write bool) Result {
 }
 
 // dropIndex permanently disables the hash index, handing each set's
-// recency order to its policy (tail-first Touch replay reproduces the
-// exact stamp order), so the scan path continues bit-identically. Fault
-// injection calls this before mutating state: a flipped tag bit can
-// alias two ways onto one map key, which the index cannot represent.
+// recency order to its policy under LRU (tail-first Touch replay
+// reproduces the exact stamp order), so the scan path continues
+// bit-identically. FIFO and Random policies advanced normally while the
+// index was active, so they need no handoff. Fault injection calls this
+// before mutating state: a flipped tag bit can alias two ways onto one
+// map key, which the index cannot represent.
 func (c *SetAssoc) dropIndex() {
 	if c.idx == nil {
 		return
 	}
-	for set, ix := range c.idx {
-		pol := c.policies[set]
-		for n := ix.LRU(); n != nil; n = ix.Prev(n) {
-			pol.Touch(int(n.Val))
+	if c.kind == LRU {
+		for set, ix := range c.idx {
+			pol := c.policies[set]
+			for n := ix.LRU(); n != nil; n = ix.Prev(n) {
+				pol.Touch(int(n.Val))
+			}
 		}
 	}
 	c.idx = nil

@@ -171,11 +171,11 @@ func TestStatsCounting(t *testing.T) {
 	if s.Accesses != 3 || s.Hits != 1 || s.Misses != 2 || s.Reads != 2 || s.Writes != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
-	if s.FrameAccesses[0] != 2 || s.FrameAccesses[2] != 1 {
-		t.Fatalf("frame accesses = %v", s.FrameAccesses)
+	if s.FrameAccess(0) != 2 || s.FrameAccess(2) != 1 {
+		t.Fatalf("frame hits = %v, frame misses = %v", s.FrameHits, s.FrameMisses)
 	}
 	c.Reset()
-	if s2 := c.Stats(); s2.Accesses != 0 || s2.FrameAccesses[0] != 0 {
+	if s2 := c.Stats(); s2.Accesses != 0 || s2.FrameAccess(0) != 0 {
 		t.Fatal("Reset did not clear stats")
 	}
 	if c.Contains(0) {

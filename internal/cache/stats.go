@@ -13,18 +13,18 @@ type Stats struct {
 	Evictions  uint64
 	Writebacks uint64
 
-	// FrameAccesses/FrameHits/FrameMisses are indexed by physical frame.
-	FrameAccesses []uint64
-	FrameHits     []uint64
-	FrameMisses   []uint64
+	// FrameHits/FrameMisses are indexed by physical frame. A frame's
+	// access total is their sum — see FrameAccess; keeping a third
+	// array in sync would cost an extra counter write per access.
+	FrameHits   []uint64
+	FrameMisses []uint64
 }
 
 // NewStats returns zeroed counters for a cache with frames line frames.
 func NewStats(frames int) *Stats {
 	return &Stats{
-		FrameAccesses: make([]uint64, frames),
-		FrameHits:     make([]uint64, frames),
-		FrameMisses:   make([]uint64, frames),
+		FrameHits:   make([]uint64, frames),
+		FrameMisses: make([]uint64, frames),
 	}
 }
 
@@ -36,7 +36,6 @@ func (s *Stats) Record(frame int, hit, write bool) {
 	} else {
 		s.Reads++
 	}
-	s.FrameAccesses[frame]++
 	if hit {
 		s.Hits++
 		s.FrameHits[frame]++
@@ -46,11 +45,36 @@ func (s *Stats) Record(frame int, hit, write bool) {
 	}
 }
 
+// Frames returns the number of per-frame counters.
+func (s *Stats) Frames() int { return len(s.FrameHits) }
+
+// FrameAccess returns frame i's total accesses, derived from the hit
+// and miss counters.
+func (s *Stats) FrameAccess(i int) uint64 { return s.FrameHits[i] + s.FrameMisses[i] }
+
 // RecordEviction books the displacement of a valid line.
 func (s *Stats) RecordEviction(dirty bool) {
 	s.Evictions++
 	if dirty {
 		s.Writebacks++
+	}
+}
+
+// Merge adds o's counters into s; frame arrays must be equally sized.
+// Set-sharded replay folds per-shard counters back through this.
+func (s *Stats) Merge(o *Stats) {
+	s.Accesses += o.Accesses
+	s.Hits += o.Hits
+	s.Misses += o.Misses
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Evictions += o.Evictions
+	s.Writebacks += o.Writebacks
+	for i, v := range o.FrameHits {
+		s.FrameHits[i] += v
+	}
+	for i, v := range o.FrameMisses {
+		s.FrameMisses[i] += v
 	}
 }
 
@@ -72,13 +96,11 @@ func (s *Stats) HitRate() float64 {
 
 // Reset zeroes all counters in place.
 func (s *Stats) Reset() {
-	frames := len(s.FrameAccesses)
+	frames := len(s.FrameHits)
 	*s = Stats{
-		FrameAccesses: s.FrameAccesses[:0],
-		FrameHits:     s.FrameHits[:0],
-		FrameMisses:   s.FrameMisses[:0],
+		FrameHits:   s.FrameHits[:0],
+		FrameMisses: s.FrameMisses[:0],
 	}
-	s.FrameAccesses = append(s.FrameAccesses, make([]uint64, frames)...)
 	s.FrameHits = append(s.FrameHits, make([]uint64, frames)...)
 	s.FrameMisses = append(s.FrameMisses, make([]uint64, frames)...)
 }

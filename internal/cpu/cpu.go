@@ -86,9 +86,16 @@ func Run(st trace.Stream, h *hier.Hierarchy, cfg Config, maxInstr uint64) (Resul
 		// Register 0 is the always-ready zero register.
 		regReady [trace.NumRegs]uint64
 
-		// dispatch/retire rings are indexed i % Window.
+		// dispatch/retire rings are indexed i % Window; slot, issueIdx,
+		// and retireIdx track that modulus (and the IssueWidth/
+		// RetireWidth look-back positions) by wrap-around increment —
+		// three integer divisions per instruction are measurable at
+		// suite scale.
 		dispatchAt = make([]uint64, cfg.Window)
 		retireAt   = make([]uint64, cfg.Window)
+		slot       = 0
+		issueIdx   = (cfg.Window - cfg.IssueWidth%cfg.Window) % cfg.Window
+		retireIdx  = (cfg.Window - cfg.RetireWidth%cfg.Window) % cfg.Window
 
 		lastRetire   uint64    // retire cycle of the previous instruction
 		fetchReady   uint64    // cycle the next instruction is available to dispatch
@@ -106,13 +113,34 @@ func Run(st trace.Stream, h *hier.Hierarchy, cfg Config, maxInstr uint64) (Resul
 		memStart = make([]uint64, cfg.MemPorts)
 	}
 
+	// Direct-index fast path: the suite always feeds a SliceStream, and
+	// an interface call plus a second record copy per instruction is
+	// measurable across a full timed sweep.
+	var recs []trace.Record
+	direct := false
+	if ss, ok := st.(*trace.SliceStream); ok {
+		recs = ss.Rest()
+		if maxInstr < uint64(len(recs)) {
+			recs = recs[:maxInstr]
+		}
+		direct = true
+		defer ss.Skip(len(recs))
+	}
+
 	var i uint64
 	for ; i < maxInstr; i++ {
-		rec, ok := st.Next()
-		if !ok {
-			break
+		var rec trace.Record
+		if direct {
+			if i >= uint64(len(recs)) {
+				break
+			}
+			rec = recs[i]
+		} else {
+			var ok bool
+			if rec, ok = st.Next(); !ok {
+				break
+			}
 		}
-		slot := int(i % uint64(cfg.Window))
 
 		// Fetch: one I$ access per new line. A taken branch to another
 		// line redirects fetch; sequential flow within a line is free.
@@ -136,7 +164,7 @@ func Run(st trace.Stream, h *hier.Hierarchy, cfg Config, maxInstr uint64) (Resul
 			}
 		}
 		if i >= uint64(cfg.IssueWidth) {
-			prev := dispatchAt[int((i-uint64(cfg.IssueWidth))%uint64(cfg.Window))]
+			prev := dispatchAt[issueIdx]
 			if prev+1 > d {
 				d = prev + 1
 			}
@@ -161,7 +189,9 @@ func Run(st trace.Stream, h *hier.Hierarchy, cfg Config, maxInstr uint64) (Resul
 				start = prev + 1
 			}
 			memStart[memPos] = start
-			memPos = (memPos + 1) % len(memStart)
+			if memPos++; memPos == len(memStart) {
+				memPos = 0
+			}
 		}
 		switch rec.Kind {
 		case trace.Load:
@@ -185,13 +215,22 @@ func Run(st trace.Stream, h *hier.Hierarchy, cfg Config, maxInstr uint64) (Resul
 			r = lastRetire
 		}
 		if i >= uint64(cfg.RetireWidth) {
-			prev := retireAt[int((i-uint64(cfg.RetireWidth))%uint64(cfg.Window))]
+			prev := retireAt[retireIdx]
 			if prev+1 > r {
 				r = prev + 1
 			}
 		}
 		retireAt[slot] = r
 		lastRetire = r
+		if slot++; slot == cfg.Window {
+			slot = 0
+		}
+		if issueIdx++; issueIdx == cfg.Window {
+			issueIdx = 0
+		}
+		if retireIdx++; retireIdx == cfg.Window {
+			retireIdx = 0
+		}
 	}
 
 	res.Instructions = i

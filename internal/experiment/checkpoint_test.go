@@ -113,6 +113,9 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Memoized units commit instantly and would race past the interrupt
+	// threshold before the stop request lands.
+	ResetUnitMemo()
 
 	path := filepath.Join(t.TempDir(), "cp.json")
 	cp := NewCheckpoint(path)
@@ -163,9 +166,10 @@ func TestCheckpointResumeBitIdentical(t *testing.T) {
 	}
 }
 
-// TestTraceCacheDetectsCorruption mutates a cached trace in place and
-// checks the next lookup notices, discards, and rebuilds it.
-func TestTraceCacheDetectsCorruption(t *testing.T) {
+// TestTraceSpillDetectsCorruption corrupts a spill file on disk and
+// checks the reload notices the checksum mismatch, deletes the file,
+// and rebuilds the stream from scratch with identical content.
+func TestTraceSpillDetectsCorruption(t *testing.T) {
 	ResetTraceCache()
 	defer ResetTraceCache()
 	opts := tinyOpts()
@@ -173,36 +177,48 @@ func TestTraceCacheDetectsCorruption(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	at1, err := cachedTrace(opts, p)
+	at1, err := cachedData(opts, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(at1.data) == 0 {
+	if len(at1.accs) == 0 {
 		t.Fatal("empty trace")
 	}
-	orig := at1.data[0]
-	at1.data[0].a ^= 1 // simulated memory corruption of the shared entry
 
-	at2, err := cachedTrace(opts, p)
+	// Evict the canonical trace to disk by building another stream
+	// under a budget no two entries fit in.
+	opts.TraceBytes = 1
+	if _, err := cachedData(opts, withSeed(p, 1)); err != nil {
+		t.Fatal(err)
+	}
+	key := dataTraceKey(opts, p)
+	sharedTraces.mu.Lock()
+	slot := sharedTraces.spilled[key]
+	sharedTraces.mu.Unlock()
+	if slot == nil {
+		t.Fatal("canonical trace was not spilled")
+	}
+	b, err := os.ReadFile(slot.path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := TraceCacheStats().Rebuilds; got != 1 {
-		t.Errorf("Rebuilds = %d, want 1", got)
-	}
-	if at2 == at1 {
-		t.Fatal("corrupt trace returned again")
-	}
-	if at2.data[0] != orig {
-		t.Errorf("rebuilt trace differs from original: %+v vs %+v", at2.data[0], orig)
+	b[len(b)-1] ^= 0xFF // corrupt the final record
+	if err := os.WriteFile(slot.path, b, 0o644); err != nil {
+		t.Fatal(err)
 	}
 
-	// The rebuilt entry verifies clean on the next hit.
-	at3, err := cachedTrace(opts, p)
+	at2, err := cachedData(opts, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if at3 != at2 || TraceCacheStats().Rebuilds != 1 {
-		t.Error("clean rebuilt entry was rebuilt again")
+	c := TraceCacheStats()
+	if c.Rebuilds != 1 {
+		t.Errorf("Rebuilds = %d, want 1", c.Rebuilds)
+	}
+	if !reflect.DeepEqual(at1, at2) {
+		t.Error("rebuilt trace differs from original")
+	}
+	if _, err := os.Stat(slot.path); !os.IsNotExist(err) {
+		t.Error("corrupt spill file was not deleted")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"bcache/internal/rng"
 	"bcache/internal/stats"
 	"bcache/internal/threec"
+	"bcache/internal/trace"
 	"bcache/internal/vm"
 	"bcache/internal/workload"
 )
@@ -88,7 +89,7 @@ func runXRelated(opts Opts) ([]*Table, error) {
 	}
 
 	for _, p := range all {
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -96,7 +97,7 @@ func runXRelated(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		replay(at, base, dSide)
+		replayData(at.accs, base)
 		baseMisses := base.Stats().Misses
 		for _, s := range specs {
 			c, err := s.New(opts.L1Size, opts.LineBytes)
@@ -104,8 +105,8 @@ func runXRelated(opts Opts) ([]*Table, error) {
 				return nil, fmt.Errorf("%s/%s: %w", p.Name, s.Name, err)
 			}
 			a := sums[s.Name]
-			for _, m := range at.data {
-				r := c.Access(m.a, m.write)
+			for _, m := range at.accs {
+				r := c.Access(m.Addr(), m.Write())
 				if r.Hit {
 					a.hits++
 					a.extra += uint64(r.ExtraLatency)
@@ -157,7 +158,7 @@ func runXVIPT(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -181,8 +182,8 @@ func runXVIPT(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, m := range at.data {
-			pipt.Access(colored.Translate(m.a), m.write)
+		for _, m := range at.accs {
+			pipt.Access(colored.Translate(m.Addr()), m.Write())
 		}
 
 		var rates []float64
@@ -200,8 +201,8 @@ func runXVIPT(opts Opts) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			for _, m := range at.data {
-				vipt.Access(m.a, m.write)
+			for _, m := range at.accs {
+				vipt.Access(m.Addr(), m.Write())
 			}
 			rates = append(rates, bc.Stats().MissRate())
 			if i == 0 {
@@ -231,7 +232,7 @@ func runXRecolor(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -242,11 +243,11 @@ func runXRecolor(opts Opts) ([]*Table, error) {
 		dm, _ := cache.NewDirectMapped(opts.L1Size, opts.LineBytes)
 		w2, _ := cache.NewSetAssoc(opts.L1Size, opts.LineBytes, 2, cache.LRU, nil)
 		bc, _ := core.New(core.Config{SizeBytes: opts.L1Size, LineBytes: opts.LineBytes, MF: 8, BAS: 8, Policy: cache.LRU})
-		for _, m := range at.data {
-			pa := as1.Translate(m.a)
-			dm.Access(pa, m.write)
-			w2.Access(pa, m.write)
-			bc.Access(pa, m.write)
+		for _, m := range at.accs {
+			pa := as1.Translate(m.Addr())
+			dm.Access(pa, m.Write())
+			w2.Access(pa, m.Write())
+			bc.Access(pa, m.Write())
 		}
 
 		// DM plus the recoloring policy (fresh, identically-seeded
@@ -257,10 +258,10 @@ func runXRecolor(opts Opts) ([]*Table, error) {
 			return nil, err
 		}
 		dmRC, _ := cache.NewDirectMapped(opts.L1Size, opts.LineBytes)
-		for _, m := range at.data {
-			pa := as2.Translate(m.a)
-			rc.Note(m.a, pa)
-			if !dmRC.Access(pa, m.write).Hit {
+		for _, m := range at.accs {
+			pa := as2.Translate(m.Addr())
+			rc.Note(m.Addr(), pa)
+			if !dmRC.Access(pa, m.Write()).Hit {
 				rc.OnMiss(pa)
 			}
 		}
@@ -293,7 +294,7 @@ func runXDrowsy(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -302,8 +303,8 @@ func runXDrowsy(opts Opts) ([]*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			for _, m := range at.data {
-				r := c.Access(m.a, m.write)
+			for _, m := range at.accs {
+				r := c.Access(m.Addr(), m.Write())
 				d.Touch(r.Frame)
 			}
 			return d.DrowsyFraction(), nil
@@ -349,7 +350,7 @@ func runX3C(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return nil, err
 		}
@@ -358,8 +359,8 @@ func runX3C(opts Opts) ([]*Table, error) {
 			if err != nil {
 				return threec.Counts{}, err
 			}
-			for _, m := range at.data {
-				cl.Access(m.a, m.write)
+			for _, m := range at.accs {
+				cl.Access(m.Addr(), m.Write())
 			}
 			return cl.Counts(), nil
 		}
@@ -440,11 +441,11 @@ func runXPrefetch(opts Opts) ([]*Table, error) {
 			if err != nil {
 				return cpu.Result{}, nil, err
 			}
-			g, err := workload.New(p)
+			rt, err := cachedRecords(opts, p)
 			if err != nil {
 				return cpu.Result{}, nil, err
 			}
-			res, err := cpu.Run(g, h, cpu.Defaults(), opts.Instructions)
+			res, err := cpu.Run(trace.NewSliceStream(rt.recs), h, cpu.Defaults(), opts.Instructions)
 			return res, h, err
 		}
 		dm, _, err := run(false, false)
@@ -518,11 +519,11 @@ func runXL2(opts Opts) ([]*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			g, err := workload.New(p)
+			rt, err := cachedRecords(opts, p)
 			if err != nil {
 				return 0, err
 			}
-			if _, err := cpu.Run(g, h, cpu.Defaults(), opts.Instructions); err != nil {
+			if _, err := cpu.Run(trace.NewSliceStream(rt.recs), h, cpu.Defaults(), opts.Instructions); err != nil {
 				return 0, err
 			}
 			return l2.Stats().MissRate(), nil
@@ -652,13 +653,13 @@ func runXWindow(opts Opts) ([]*Table, error) {
 			if err != nil {
 				return 0, err
 			}
-			g, err := workload.New(p)
+			rt, err := cachedRecords(opts, p)
 			if err != nil {
 				return 0, err
 			}
 			cfg := cpu.Defaults()
 			cfg.Window = window
-			res, err := cpu.Run(g, h, cfg, opts.Instructions)
+			res, err := cpu.Run(trace.NewSliceStream(rt.recs), h, cfg, opts.Instructions)
 			if err != nil {
 				return 0, err
 			}

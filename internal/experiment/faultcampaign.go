@@ -111,7 +111,7 @@ func runFaultCampaign(opts Opts) ([]*Table, error) {
 		r := rows[i/len(profiles)]
 		pi := i % len(profiles)
 		p := profiles[pi]
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", p.Name, err)
 		}
@@ -131,7 +131,7 @@ func runFaultCampaign(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		replay(at, in, dSide)
+		replayData(at.accs, in)
 		var cell faultCell
 		invErr := in.FinalScrub()
 		st := in.Stats()

@@ -31,7 +31,7 @@ func runFig3(opts Opts) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	at, err := cachedTrace(opts, p)
+	at, err := cachedData(opts, p)
 	if err != nil {
 		return nil, err
 	}
@@ -49,7 +49,7 @@ func runFig3(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("MF=%d: %w", mf, err)
 		}
-		replay(at, bc, dSide)
+		replayData(at.accs, bc)
 		t.AddRow(fmt.Sprintf("MF%d", mf),
 			pct(bc.Stats().MissRate()),
 			pct(bc.PDStats().HitRateDuringMiss()))

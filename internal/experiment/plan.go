@@ -154,7 +154,7 @@ func planMissRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side
 			if len(lru) > 0 {
 				keys := make([]string, len(lru))
 				for x, si := range lru {
-					keys[x] = unitKey(opts, s, all[si].Name, k, p.Name)
+					keys[x] = unitKey(opts, s, all[si].key(), k, p.Name)
 				}
 				units = append(units, PlannedUnit{
 					Key:  unitKey(opts, s, profileSpecName, k, p.Name),
@@ -174,7 +174,7 @@ func planMissRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side
 			}
 			for _, si := range replayed {
 				spec := all[si]
-				key := unitKey(opts, s, spec.Name, k, p.Name)
+				key := unitKey(opts, s, spec.key(), k, p.Name)
 				units = append(units, PlannedUnit{
 					Key:  key,
 					keys: []string{key},

@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"time"
 
 	"bcache/internal/addr"
@@ -50,6 +51,12 @@ type Opts struct {
 	// profile. The replay path is the differential oracle the profiler
 	// is tested against; results are bit-identical either way.
 	DisableStackDist bool
+	// SetWorkers, when above 1, shards each set-associative replay unit
+	// by set index across up to that many goroutines
+	// (cache.ReplayShards). Results are bit-identical to sequential
+	// replay; the knob only trades cores for unit latency when there are
+	// fewer runnable units than cores.
+	SetWorkers int
 }
 
 // DefaultOpts returns the scale used for EXPERIMENTS.md.
@@ -104,11 +111,10 @@ func withSeed(p *workload.Profile, k int) *workload.Profile {
 	return &q
 }
 
-// memAcc is one data-cache access.
-type memAcc struct {
-	a     addr.Addr
-	write bool
-}
+// memAcc is one data-cache access — the cache package's replayable
+// stream element, so set-sharded replay (cache.ReplayShards) can consume
+// a materialized trace without conversion.
+type memAcc = cache.MemAccess
 
 // accessTrace is a benchmark's address streams, materialized once and
 // replayed against every cache configuration.
@@ -141,7 +147,7 @@ func materialize(p *workload.Profile, n uint64, lineBytes int) (*accessTrace, er
 			at.fetch = append(at.fetch, rec.PC)
 		}
 		if rec.Kind.IsMem() {
-			at.data = append(at.data, memAcc{rec.Mem, rec.Kind == trace.Store})
+			at.data = append(at.data, cache.NewMemAccess(rec.Mem, rec.Kind == trace.Store))
 		}
 	}
 	return at, nil
@@ -151,6 +157,14 @@ func materialize(p *workload.Profile, n uint64, lineBytes int) (*accessTrace, er
 type Spec struct {
 	// Name appears as the table column, e.g. "8way" or "MF8".
 	Name string
+	// Key canonically identifies the cache CONFIGURATION, independent
+	// of the display name an experiment picks. Two specs with equal
+	// keys must build behaviourally identical caches: work-unit results
+	// are shared across experiments under this key (see unitKey), so
+	// table5's "mf8-bas8" column reuses fig4's "MF8" simulations.
+	// Empty falls back to Name, which keeps experiment-local custom
+	// specs correct as long as their names are unambiguous.
+	Key string
 	// Kind prices the configuration in the energy model.
 	Kind energy.Kind
 	// New builds the cache at the given geometry.
@@ -162,10 +176,19 @@ type Spec struct {
 	LRUWays int
 }
 
+// key returns the canonical configuration identity for unit keys.
+func (s Spec) key() string {
+	if s.Key != "" {
+		return s.Key
+	}
+	return s.Name
+}
+
 // baselineSpec is the paper's baseline: a direct-mapped cache.
 func baselineSpec() Spec {
 	return Spec{
 		Name: "baseline",
+		Key:  "dm",
 		Kind: energy.DirectMapped,
 		New: func(size, line int) (cache.Cache, error) {
 			return cache.NewDirectMapped(size, line)
@@ -177,6 +200,7 @@ func baselineSpec() Spec {
 func setAssocSpec(ways int, kind energy.Kind) Spec {
 	return Spec{
 		Name: fmt.Sprintf("%dway", ways),
+		Key:  fmt.Sprintf("sa:%dway:lru", ways),
 		Kind: kind,
 		New: func(size, line int) (cache.Cache, error) {
 			return cache.NewSetAssoc(size, line, ways, cache.LRU, rng.New(1))
@@ -188,6 +212,7 @@ func setAssocSpec(ways int, kind energy.Kind) Spec {
 func victimSpec(entries int) Spec {
 	return Spec{
 		Name: fmt.Sprintf("victim%d", entries),
+		Key:  fmt.Sprintf("victim:%d", entries),
 		Kind: energy.VictimDM,
 		New: func(size, line int) (cache.Cache, error) {
 			return victim.New(size, line, entries)
@@ -202,6 +227,7 @@ func bcacheSpec(mf, bas int, pol cache.PolicyKind) Spec {
 	}
 	return Spec{
 		Name: name,
+		Key:  fmt.Sprintf("bc:mf%d:bas%d:pol%d", mf, bas, pol),
 		Kind: energy.BCache,
 		New: func(size, line int) (cache.Cache, error) {
 			return core.New(core.Config{
@@ -214,6 +240,7 @@ func bcacheSpec(mf, bas int, pol cache.PolicyKind) Spec {
 func hacSpec() Spec {
 	return Spec{
 		Name: "hac32",
+		Key:  "hac:32",
 		Kind: energy.HAC,
 		New: func(size, line int) (cache.Cache, error) {
 			return altcache.NewHAC(size, line)
@@ -246,18 +273,41 @@ const (
 	iSide
 )
 
-// replay drives one side of the trace through c and returns it.
-func replay(at *accessTrace, c cache.Cache, s side) {
-	switch s {
-	case dSide:
-		for _, m := range at.data {
-			c.Access(m.a, m.write)
-		}
-	case iSide:
-		for _, pc := range at.fetch {
-			c.Access(pc, false)
+// replayData drives a data stream through c sequentially.
+func replayData(data []memAcc, c cache.Cache) {
+	for _, m := range data {
+		c.Access(m.Addr(), m.Write())
+	}
+}
+
+// replayFetch drives a fetch stream through c sequentially.
+func replayFetch(fetch []addr.Addr, c cache.Cache) {
+	for _, pc := range fetch {
+		c.Access(pc, false)
+	}
+}
+
+// replayWorkersData drives a data stream through c, sharding the replay
+// by set index across up to setWorkers goroutines when c supports it
+// (see cache.ReplayShards); results are bit-identical to replayData
+// either way. setWorkers <= 1 always replays sequentially.
+func replayWorkersData(data []memAcc, c cache.Cache, setWorkers int) {
+	if setWorkers > 1 {
+		if sa, ok := c.(*cache.SetAssoc); ok && sa.ReplayShards(data, nil, setWorkers) {
+			return
 		}
 	}
+	replayData(data, c)
+}
+
+// replayWorkersFetch is replayWorkersData for the fetch side.
+func replayWorkersFetch(fetch []addr.Addr, c cache.Cache, setWorkers int) {
+	if setWorkers > 1 {
+		if sa, ok := c.(*cache.SetAssoc); ok && sa.ReplayShards(nil, fetch, setWorkers) {
+			return
+		}
+	}
+	replayFetch(fetch, c)
 }
 
 // missRun is the result of one (benchmark, spec) miss-rate run,
@@ -277,12 +327,41 @@ type missRun struct {
 }
 
 // unitKey names one (side, scale, spec, seed, profile) work unit for the
-// checkpoint. The key is self-describing — it embeds everything the
-// stored counters depend on — so a checkpoint written at one scale can
-// never poison a resume at another.
-func unitKey(opts Opts, s side, spec string, seedIdx int, profile string) string {
-	return fmt.Sprintf("v1|side=%d|n=%d|size=%d|line=%d|spec=%s|seed=%d|prof=%s",
-		s, opts.Instructions, opts.L1Size, opts.LineBytes, spec, seedIdx, profile)
+// checkpoint and the in-process unit memo. The key is self-describing —
+// it embeds everything the stored counters depend on — so a checkpoint
+// written at one scale can never poison a resume at another. specKey is
+// the spec's canonical configuration key (Spec.key), not its display
+// name, so experiments that render the same configuration under
+// different column names share one simulation. v2: specs are keyed
+// canonically (v1 used display names).
+func unitKey(opts Opts, s side, specKey string, seedIdx int, profile string) string {
+	return fmt.Sprintf("v2|side=%d|n=%d|size=%d|line=%d|spec=%s|seed=%d|prof=%s",
+		s, opts.Instructions, opts.L1Size, opts.LineBytes, specKey, seedIdx, profile)
+}
+
+// unitMemo shares completed work units across experiments in one
+// process: fig4, fig12, table5/6, xline, and xrelated overlap heavily in
+// (configuration, profile, scale) space, and a unit's counters are a
+// pure function of its unitKey. Lookup order in missRates is checkpoint
+// first (resume semantics unchanged), then this memo, then simulation;
+// every simulated or checkpoint-restored unit is published here.
+var unitMemo sync.Map // unitKey string -> UnitResult
+
+// ResetUnitMemo drops all cross-experiment unit results (test hook and
+// perfbench cold-start).
+func ResetUnitMemo() {
+	unitMemo.Range(func(k, _ any) bool {
+		unitMemo.Delete(k)
+		return true
+	})
+}
+
+// memoLookup consults the cross-experiment memo.
+func memoLookup(key string) (UnitResult, bool) {
+	if v, ok := unitMemo.Load(key); ok {
+		return v.(UnitResult), true
+	}
+	return UnitResult{}, false
 }
 
 // profileLRU answers every spec in lru (indices into all, each with
@@ -290,8 +369,9 @@ func unitKey(opts Opts, s side, spec string, seedIdx int, profile string) string
 // stack-distance pass: under LRU's inclusion property an access hits a
 // (sets, ways) cache iff its per-set reuse distance is below ways, so
 // one profile yields the same hit/miss counts a per-spec replay would —
-// bit-identically — at a fraction of the work.
-func profileLRU(at *accessTrace, s side, opts Opts, all []Spec, lru []int) ([]UnitResult, error) {
+// bit-identically — at a fraction of the work. feed replays the chosen
+// side's stream into the profile, one Access per element.
+func profileLRU(feed func(*stackdist.Profile), opts Opts, all []Spec, lru []int) ([]UnitResult, error) {
 	frames := opts.L1Size / opts.LineBytes
 	geoms := make([]stackdist.Geom, len(lru))
 	for x, si := range lru {
@@ -302,16 +382,7 @@ func profileLRU(at *accessTrace, s side, opts Opts, all []Spec, lru []int) ([]Un
 	if err != nil {
 		return nil, err
 	}
-	switch s {
-	case dSide:
-		for _, m := range at.data {
-			prof.Access(m.a)
-		}
-	case iSide:
-		for _, pc := range at.fetch {
-			prof.Access(pc)
-		}
-	}
+	feed(prof)
 	out := make([]UnitResult, len(lru))
 	for x, g := range geoms {
 		misses, err := prof.Misses(g.Sets, g.Ways)
@@ -329,15 +400,26 @@ func profileLRU(at *accessTrace, s side, opts Opts, all []Spec, lru []int) ([]Un
 // scheduler (missRates) and the distributed plan (plan.go), so a unit
 // computed in a worker subprocess is bit-identical to one computed here.
 func execReplayUnit(opts Opts, s side, p *workload.Profile, spec Spec, k int) (UnitResult, error) {
-	at, err := cachedTrace(opts, withSeed(p, k))
-	if err != nil {
-		return UnitResult{}, fmt.Errorf("%s: %w", p.Name, err)
-	}
 	c, err := spec.New(opts.L1Size, opts.LineBytes)
 	if err != nil {
 		return UnitResult{}, fmt.Errorf("%s/%s: %w", p.Name, spec.Name, err)
 	}
-	replay(at, c, s)
+	// Fetch only the stream this side replays: a D-side unit never
+	// forces an I-side extraction, and vice versa.
+	switch s {
+	case dSide:
+		dt, err := cachedData(opts, withSeed(p, k))
+		if err != nil {
+			return UnitResult{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		replayWorkersData(dt.accs, c, opts.SetWorkers)
+	case iSide:
+		ft, err := cachedFetch(opts, withSeed(p, k))
+		if err != nil {
+			return UnitResult{}, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		replayWorkersFetch(ft.pcs, c, opts.SetWorkers)
+	}
 	st := c.Stats()
 	u := UnitResult{Misses: st.Misses, Accesses: st.Accesses}
 	if bc, ok := c.(*core.BCache); ok {
@@ -351,11 +433,30 @@ func execReplayUnit(opts Opts, s side, p *workload.Profile, spec Spec, k int) (U
 // every LRU spec in lru (indices into all) at once. Like execReplayUnit
 // it is shared between the in-process scheduler and the distributed plan.
 func execProfileUnit(opts Opts, s side, p *workload.Profile, all []Spec, lru []int, k int) ([]UnitResult, error) {
-	at, err := cachedTrace(opts, withSeed(p, k))
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", p.Name, err)
+	var feed func(*stackdist.Profile)
+	switch s {
+	case dSide:
+		dt, err := cachedData(opts, withSeed(p, k))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		feed = func(prof *stackdist.Profile) {
+			for _, m := range dt.accs {
+				prof.Access(m.Addr())
+			}
+		}
+	case iSide:
+		ft, err := cachedFetch(opts, withSeed(p, k))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		feed = func(prof *stackdist.Profile) {
+			for _, pc := range ft.pcs {
+				prof.Access(pc)
+			}
+		}
 	}
-	res, err := profileLRU(at, s, opts, all, lru)
+	res, err := profileLRU(feed, opts, all, lru)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %w", p.Name, err)
 	}
@@ -452,10 +553,20 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 		if j.specIdx >= 0 {
 			// Replay job: one cache, one spec.
 			spec := all[j.specIdx]
-			key := unitKey(opts, s, spec.Name, j.k, p.Name)
+			key := unitKey(opts, s, spec.key(), j.k, p.Name)
 			idx := slot(j.pi, j.k, j.specIdx)
 			if u, ok := cp.Lookup(key); ok {
-				return func() { units[idx], done[idx] = u, true }, nil
+				return func() {
+					units[idx], done[idx] = u, true
+					unitMemo.Store(key, u)
+				}, nil
+			}
+			if u, ok := memoLookup(key); ok {
+				// Another experiment already simulated this exact unit.
+				return func() {
+					units[idx], done[idx] = u, true
+					cp.Record(key, u)
+				}, nil
 			}
 			u, err := execReplayUnit(opts, s, p, spec, j.k)
 			if err != nil {
@@ -464,6 +575,7 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 			return func() {
 				units[idx], done[idx] = u, true
 				cp.Record(key, u)
+				unitMemo.Store(key, u)
 				tel.addAccesses(u.Accesses)
 			}, nil
 		}
@@ -471,23 +583,34 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 		// Profiling job: one stack-distance pass, every LRU spec.
 		keys := make([]string, len(lru))
 		for x, si := range lru {
-			keys[x] = unitKey(opts, s, all[si].Name, j.k, p.Name)
+			keys[x] = unitKey(opts, s, all[si].key(), j.k, p.Name)
 		}
 		restored := make([]UnitResult, len(lru))
-		allHit := true
-		for x := range keys {
-			u, ok := cp.Lookup(keys[x])
-			if !ok {
-				allHit = false
-				break
+		lookup := func(get func(string) (UnitResult, bool)) bool {
+			for x := range keys {
+				u, ok := get(keys[x])
+				if !ok {
+					return false
+				}
+				restored[x] = u
 			}
-			restored[x] = u
+			return true
 		}
-		if allHit {
+		if lookup(cp.Lookup) {
 			return func() {
 				for x, si := range lru {
 					idx := slot(j.pi, j.k, si)
 					units[idx], done[idx] = restored[x], true
+					unitMemo.Store(keys[x], restored[x])
+				}
+			}, nil
+		}
+		if lookup(memoLookup) {
+			return func() {
+				for x, si := range lru {
+					idx := slot(j.pi, j.k, si)
+					units[idx], done[idx] = restored[x], true
+					cp.Record(keys[x], restored[x])
 				}
 			}, nil
 		}
@@ -500,6 +623,7 @@ func missRates(opts Opts, profiles []*workload.Profile, specs []Spec, s side) (m
 				idx := slot(j.pi, j.k, si)
 				units[idx], done[idx] = res[x], true
 				cp.Record(keys[x], res[x])
+				unitMemo.Store(keys[x], res[x])
 			}
 			if len(res) > 0 {
 				// One profiling pass replays the trace once, however many

@@ -43,11 +43,13 @@ func TestStackDistMatchesReplay(t *testing.T) {
 				opts := tinyOpts()
 				opts.L1Size = size
 
+				ResetUnitMemo() // force real simulations on both runs
 				fast, err := missRates(opts, profiles, specs, s)
 				if err != nil {
 					t.Fatal(err)
 				}
 				opts.DisableStackDist = true
+				ResetUnitMemo()
 				oracle, err := missRates(opts, profiles, specs, s)
 				if err != nil {
 					t.Fatal(err)
@@ -72,7 +74,7 @@ func TestStackDistMatchesReplay(t *testing.T) {
 func TestStackDistMatchesDirectReplay(t *testing.T) {
 	opts := tinyOpts()
 	for _, p := range gridProfiles(t) {
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,15 +88,15 @@ func TestStackDistMatchesDirectReplay(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, m := range at.data {
-			prof.Access(m.a)
+		for _, m := range at.accs {
+			prof.Access(m.Addr())
 		}
 		for _, w := range ways {
 			c, err := cache.NewSetAssoc(opts.L1Size, opts.LineBytes, w, cache.LRU, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
-			replay(at, c, dSide)
+			replayData(at.accs, c)
 			got, err := prof.Misses(frames/w, w)
 			if err != nil {
 				t.Fatal(err)
@@ -119,7 +121,7 @@ func TestStackDistInclusionProperty(t *testing.T) {
 		geoms = append(geoms, stackdist.Geom{Sets: sets, Ways: frames / sets * 2})
 	}
 	for _, p := range workload.All() {
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -127,8 +129,8 @@ func TestStackDistInclusionProperty(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, m := range at.data {
-			prof.Access(m.a)
+		for _, m := range at.accs {
+			prof.Access(m.Addr())
 		}
 		for _, g := range geoms {
 			prev := prof.Accesses() + 1
@@ -161,7 +163,7 @@ func TestStackDistCapacityNearMonotone(t *testing.T) {
 		geoms = append(geoms, stackdist.Geom{Sets: frames / w, Ways: w})
 	}
 	for _, p := range workload.All() {
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,8 +171,8 @@ func TestStackDistCapacityNearMonotone(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, m := range at.data {
-			prof.Access(m.a)
+		for _, m := range at.accs {
+			prof.Access(m.Addr())
 		}
 		prev := prof.Accesses() + 1
 		for w := 1; w <= frames; w *= 2 {

@@ -40,7 +40,7 @@ func runTable7(opts Opts) ([]*Table, error) {
 	}
 	rows := make([]rowPair, len(all))
 	err := forEachProfile(all, opts.workers(), func(p *workload.Profile) error {
-		at, err := cachedTrace(opts, p)
+		at, err := cachedData(opts, p)
 		if err != nil {
 			return err
 		}
@@ -55,8 +55,8 @@ func runTable7(opts Opts) ([]*Table, error) {
 		if err != nil {
 			return err
 		}
-		replay(at, dm, dSide)
-		replay(at, bc, dSide)
+		replayData(at.accs, dm)
+		replayData(at.accs, bc)
 		bdm, err := stats.Analyze(dm.Stats())
 		if err != nil {
 			return err

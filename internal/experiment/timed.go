@@ -71,11 +71,11 @@ func runTimed(p *workload.Profile, spec Spec, opts Opts) (timedRun, error) {
 	if err != nil {
 		return timedRun{}, err
 	}
-	g, err := workload.New(p)
+	rt, err := cachedRecords(opts, p)
 	if err != nil {
 		return timedRun{}, err
 	}
-	res, err := cpu.Run(trace.Stream(g), h, cpu.Defaults(), opts.Instructions)
+	res, err := cpu.Run(trace.NewSliceStream(rt.recs), h, cpu.Defaults(), opts.Instructions)
 	if err != nil {
 		return timedRun{}, err
 	}

@@ -1,80 +1,210 @@
 package experiment
 
 import (
+	"fmt"
+	"math/bits"
+	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
+	"bcache/internal/addr"
+	"bcache/internal/cache"
 	"bcache/internal/obs/tracespan"
+	"bcache/internal/trace"
 	"bcache/internal/workload"
 )
 
-// The miss-rate experiments replay the same few address streams against
-// many cache configurations, and several experiments share benchmarks, so
+// The experiments replay the same few instruction streams against many
+// cache configurations, and several experiments share benchmarks, so
 // regenerating a stream per call site wastes most of the suite's time.
-// traceCache memoizes materialize content-addressed by everything the
-// generated stream depends on: (profile name, seed, instructions, line
-// bytes). Entries are built once under a singleflight channel — duplicate
-// requesters block on the first builder — and evicted least-recently-used
-// when the byte budget is exceeded. Evicted traces stay usable by anyone
-// already holding the pointer; accessTrace is immutable after build.
+// traceCache memoizes three payload kinds, content-addressed by
+// everything the payload depends on:
+//
+//   - record traces: the raw generator output for (profile name, seed,
+//     instructions) — fed to the timed CPU model and extracted into
+//     address streams, so the workload generator runs once per stream;
+//   - data traces: the D-cache byte-address stream for (profile name,
+//     seed, instructions), packed 8 bytes per access. Set and tag
+//     derivation happen inside the caches, so the stream does not
+//     depend on the line size: every line-size variant of an experiment
+//     shares one entry;
+//   - fetch traces: the I-cache stream for (profile name, seed,
+//     instructions, line bytes) — consecutive same-line PCs collapse,
+//     so this is the one stream a line-size sweep re-derives.
+//
+// A stream build extracts BOTH sides from the record trace while it is
+// resident and publishes the sibling as a byproduct (putIfAbsent), so
+// the record trace — 48 MB at DefaultOpts, and nearly as expensive to
+// decode from a spill file as to regenerate — never has to come back
+// just to derive the second stream.
+//
+// Entries are built once under a singleflight channel — duplicate
+// requesters block on the first builder — and when the byte budget is
+// exceeded, entries are spilled to checksummed on-disk V2 trace files
+// instead of being discarded: a later request decodes the spill file
+// (verifying the build-time FNV checksum; a corrupt file is deleted and
+// the entry rebuilt) rather than re-running the generator. Record
+// traces are evicted before stream payloads regardless of recency —
+// they are the cheapest tier to lose (see evictLocked). Spilled-but-
+// reloaded entries keep their file, so re-evicting them costs nothing.
+// Evicted traces stay usable by anyone already holding the pointer;
+// payloads are immutable after build.
+//
+// The budget bounds cache-RESIDENT bytes, and eviction makes room
+// BEFORE a new entry is accounted, so the resident high-water mark
+// (PeakBytes) stays at or below the budget whenever enough completed
+// entries exist to evict. Units currently replaying a stream pin their
+// own pointer for the duration, so transient process RSS can still
+// exceed the budget by the working set of in-flight units.
 
 // defaultTraceBytes bounds the shared cache when Opts does not say
-// otherwise. A DefaultOpts trace is ~15 MB, so this holds every stream of
-// the full suite with room to spare while capping worst-case growth.
-const defaultTraceBytes = 768 << 20
+// otherwise. At DefaultOpts the full suite's steady working set is
+// every profile's data stream (~4.4 MB each) plus its 32-byte-line
+// fetch stream (~2.5 MB each) plus one resident record trace (~48 MB);
+// 232 MiB holds all of that with a little headroom, so the suite spills
+// only record traces as it cycles between benchmarks.
+const defaultTraceBytes = 232 << 20
 
-// traceKey identifies one materialized stream.
+// payloadKind discriminates the three cached stream representations.
+type payloadKind uint8
+
+const (
+	kindData    payloadKind = iota // packed D-cache address streams
+	kindFetch                      // I-cache fetch streams, per line size
+	kindRecords                    // raw generator records
+)
+
+// traceKey identifies one cached payload.
 type traceKey struct {
+	kind         payloadKind
 	name         string
 	seed         uint64
 	instructions uint64
-	lineBytes    int
+	// lineBytes is 0 for record and data traces: neither the generator
+	// nor the D-side byte-address stream depends on the cache line size.
+	lineBytes int
 }
 
-// traceEntry is one cache slot. ready is closed when at/err are set;
-// sum is the content checksum taken at build time, re-verified on every
-// hit so a corrupted shared trace is rebuilt instead of silently
-// poisoning every experiment that replays it.
+// String is the stable form used for spill file naming and the sorted
+// SpilledTraces listing.
+func (k traceKey) String() string {
+	return fmt.Sprintf("kind=%d|%s|seed=%d|n=%d|line=%d",
+		k.kind, k.name, k.seed, k.instructions, k.lineBytes)
+}
+
+// payload is one cached value: a dataTrace, fetchTrace, or recordTrace.
+// Implementations are immutable after build.
+type payload interface {
+	sizeBytes() int64
+	checksum() uint64
+	// spillRecords writes the payload as a V2 record stream; the
+	// matching loader reverses it exactly (verified by checksum).
+	spillRecords(w *trace.CompressedWriter) error
+}
+
+// traceEntry is one in-memory slot. ready is closed when val/err are
+// set. The content checksum is not taken here: most entries live and
+// die resident, so the spill writer computes it only when an eviction
+// actually persists the payload.
 type traceEntry struct {
 	ready   chan struct{}
-	at      *accessTrace
+	val     payload
 	err     error
-	sum     uint64
 	size    int64
 	lastUse uint64
 }
 
+// spillSlot is one on-disk entry of the spill index. verified is set
+// after the first reload proves the file reproduces the build-time
+// checksum; later reloads of the same slot skip the verify pass — the
+// file is process-private and immutable once written, so one successful
+// round-trip establishes it for the slot's lifetime.
+type spillSlot struct {
+	path     string
+	sum      uint64
+	size     int64 // file bytes, compressed
+	verified bool
+}
+
 // TraceCacheCounters reports shared trace-cache effectiveness.
 type TraceCacheCounters struct {
-	Hits      uint64
-	Misses    uint64
+	// Hits are in-memory lookups; Reloads are lookups served by
+	// decoding a spill file; Misses are entries built from scratch
+	// (byproduct publications — the sibling stream extracted during a
+	// build — are not counted under any of these).
+	Hits    uint64
+	Misses  uint64
+	Reloads uint64
+	// Generations counts workload-generator runs — the expensive part a
+	// miss may or may not imply (a stream miss extracts from a cached
+	// record trace without regenerating).
+	Generations uint64
+	// Evictions counts entries dropped from memory under budget
+	// pressure; Spills counts the subset persisted to disk (an entry
+	// whose spill file already exists is not rewritten).
 	Evictions uint64
-	// Rebuilds counts entries discarded because their content no longer
-	// matched the build-time checksum.
+	Spills    uint64
+	// Rebuilds counts spill files discarded because their content no
+	// longer matched the build-time checksum.
 	Rebuilds uint64
-	Bytes    int64
+	// Bytes is resident; SpillBytes is on disk; PeakBytes is the
+	// resident high-water mark.
+	Bytes      int64
+	SpillBytes int64
+	PeakBytes  int64
 }
 
 type traceCache struct {
 	mu      sync.Mutex
 	entries map[traceKey]*traceEntry
+	spilled map[traceKey]*spillSlot
+	dir     string
+	dirErr  error
 	used    int64
 	ticks   uint64
 	c       TraceCacheCounters
 }
 
 // sharedTraces is the process-wide cache; all experiments go through it.
-var sharedTraces = &traceCache{entries: map[traceKey]*traceEntry{}}
+var sharedTraces = newTraceCache()
 
-// ResetTraceCache drops all memoized traces and counters (test hook).
+func newTraceCache() *traceCache {
+	return &traceCache{
+		entries: map[traceKey]*traceEntry{},
+		spilled: map[traceKey]*spillSlot{},
+	}
+}
+
+// ResetTraceCache drops all memoized traces, counters, and spill files
+// (test hook; also the CLI exit cleanup via CleanupTraceSpill).
 func ResetTraceCache() {
 	tc := sharedTraces
 	tc.mu.Lock()
-	defer tc.mu.Unlock()
 	tc.entries = map[traceKey]*traceEntry{}
 	tc.used = 0
 	tc.ticks = 0
 	tc.c = TraceCacheCounters{}
+	tc.mu.Unlock()
+	CleanupTraceSpill()
+}
+
+// CleanupTraceSpill removes the spill directory and forgets every
+// spilled entry. CLIs defer this so temp files never outlive the
+// process; the in-memory cache keeps working (evictions simply start a
+// fresh spill directory).
+func CleanupTraceSpill() {
+	tc := sharedTraces
+	tc.mu.Lock()
+	dir := tc.dir
+	tc.dir, tc.dirErr = "", nil
+	tc.spilled = map[traceKey]*spillSlot{}
+	tc.c.SpillBytes = 0
+	tc.mu.Unlock()
+	if dir != "" {
+		os.RemoveAll(dir)
+	}
 }
 
 // TraceCacheStats returns a snapshot of the shared cache counters.
@@ -87,66 +217,227 @@ func TraceCacheStats() TraceCacheCounters {
 	return c
 }
 
-// sizeBytes estimates the heap footprint of the trace's two streams.
-func (at *accessTrace) sizeBytes() int64 {
-	const memAccBytes = 16 // addr.Addr + bool, padded
-	return int64(len(at.data))*memAccBytes + int64(len(at.fetch))*8
+// SpilledTraces lists the keys currently held on disk, sorted so the
+// emission order is deterministic regardless of map iteration.
+func SpilledTraces() []string {
+	tc := sharedTraces
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	keys := make([]string, 0, len(tc.spilled))
+	for k := range tc.spilled {
+		keys = append(keys, k.String())
+	}
+	sort.Strings(keys)
+	return keys
 }
 
-// checksum folds the trace's full content through FNV-1a. accessTrace is
-// immutable after build, so any later mismatch means memory corruption
-// (or a bug that mutated a shared trace) — either way the entry must not
-// be replayed.
-func (at *accessTrace) checksum() uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	word := func(v uint64) {
-		for i := 0; i < 64; i += 8 {
-			h = (h ^ (v >> i & 0xFF)) * prime
-		}
-	}
-	word(uint64(len(at.data)))
-	for _, m := range at.data {
-		v := uint64(m.a) << 1
-		if m.write {
-			v |= 1
-		}
-		word(v)
-	}
-	word(uint64(len(at.fetch)))
-	for _, pc := range at.fetch {
-		word(uint64(pc))
+// fnvWord folds one 64-bit word into the checksum state: xor, rotate,
+// multiply by the FNV prime. A word-at-a-time variant of FNV-1a — the
+// canonical byte fold costs 8 multiplies per word, which dominated
+// spill verification at suite scale. The rotation carries high-byte
+// bit flips into the low bytes that the upward-only multiply would
+// otherwise never touch. The sums are process-private (computed when a
+// payload spills, checked on its first reload), so the exact mixing
+// function is free to change between versions.
+func fnvWord(h, v uint64) uint64 {
+	const prime = 1099511628211
+	return bits.RotateLeft64(h^v, 27) * prime
+}
+
+const fnvOffset = 14695981039346656037
+
+// ---- data traces ----
+
+// dataTrace is the packed D-cache access stream for one (profile, seed,
+// n). Immutable after build.
+type dataTrace struct {
+	name string
+	accs []memAcc
+}
+
+func (dt *dataTrace) sizeBytes() int64 { return int64(len(dt.accs)) * 8 }
+
+// checksum folds the stream through FNV-1a. memAcc already packs
+// addr<<1|write into one word, so the fold consumes it directly.
+func (dt *dataTrace) checksum() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(len(dt.accs)))
+	for _, m := range dt.accs {
+		h = fnvWord(h, uint64(m))
 	}
 	return h
 }
 
-// get returns the materialized stream for (p, n, lineBytes), building it
-// at most once per key and verifying its checksum on every hit. A
-// corrupted entry is dropped, counted under Rebuilds, and rebuilt.
-// budget <= 0 bypasses the cache entirely.
-func (tc *traceCache) get(p *workload.Profile, n uint64, lineBytes int, budget int64) (*accessTrace, error) {
-	if budget <= 0 {
-		return materialize(p, n, lineBytes)
-	}
-	key := traceKey{name: p.Name, seed: p.Seed, instructions: n, lineBytes: lineBytes}
-	for {
-		at, err, verified := tc.getOnce(key, p, n, lineBytes, budget)
-		if err != nil || verified {
-			return at, err
+func (dt *dataTrace) spillRecords(w *trace.CompressedWriter) error {
+	for _, m := range dt.accs {
+		k := trace.Load
+		if m.Write() {
+			k = trace.Store
 		}
-		// Checksum mismatch: the entry was already discarded by getOnce;
-		// loop to rebuild. A rebuilt entry is returned by its builder
-		// without re-verification, so this cannot loop forever.
+		if err := w.Write(trace.Record{Mem: m.Addr(), Kind: k, Lat: 1}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-// getOnce performs one lookup-or-build. verified is false only when a
-// cached entry failed its checksum (the caller should retry); built
-// entries are trusted by construction.
-func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineBytes int, budget int64) (_ *accessTrace, _ error, verified bool) {
+func loadDataTrace(r *trace.CompressedReader, name string) (*dataTrace, error) {
+	dt := &dataTrace{name: name, accs: make([]memAcc, 0, r.Remaining())}
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		dt.accs = append(dt.accs, cache.NewMemAccess(rec.Mem, rec.Kind == trace.Store))
+	}
+	return dt, r.Err()
+}
+
+// ---- fetch traces ----
+
+// fetchTrace is the I-cache access stream for one (profile, seed, n,
+// line size): one PC per executed basic-block line. Immutable after
+// build.
+type fetchTrace struct {
+	name string
+	pcs  []addr.Addr
+}
+
+func (ft *fetchTrace) sizeBytes() int64 { return int64(len(ft.pcs)) * 8 }
+
+func (ft *fetchTrace) checksum() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(len(ft.pcs)))
+	for _, pc := range ft.pcs {
+		h = fnvWord(h, uint64(pc))
+	}
+	return h
+}
+
+func (ft *fetchTrace) spillRecords(w *trace.CompressedWriter) error {
+	for _, pc := range ft.pcs {
+		if err := w.Write(trace.Record{PC: pc, Kind: trace.Int, Lat: 1}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadFetchTrace(r *trace.CompressedReader, name string) (*fetchTrace, error) {
+	ft := &fetchTrace{name: name, pcs: make([]addr.Addr, 0, r.Remaining())}
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		ft.pcs = append(ft.pcs, rec.PC)
+	}
+	return ft, r.Err()
+}
+
+// ---- record traces ----
+
+// recordTrace is the raw generator output for one (profile, seed, n):
+// the stream the timed CPU model consumes and address streams are
+// extracted from. Immutable after build.
+type recordTrace struct {
+	name string
+	recs []trace.Record
+}
+
+// recordBytes is the in-memory stride of one trace.Record (two 8-byte
+// addresses plus five bytes, padded).
+const recordBytes = 24
+
+func (rt *recordTrace) sizeBytes() int64 { return int64(len(rt.recs)) * recordBytes }
+
+func (rt *recordTrace) checksum() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(len(rt.recs)))
+	for _, r := range rt.recs {
+		h = fnvWord(h, uint64(r.PC))
+		h = fnvWord(h, uint64(r.Mem))
+		h = fnvWord(h, uint64(r.Kind)|uint64(r.Src1)<<8|uint64(r.Src2)<<16|
+			uint64(r.Dst)<<24|uint64(r.Lat)<<32)
+	}
+	return h
+}
+
+func (rt *recordTrace) spillRecords(w *trace.CompressedWriter) error {
+	for _, r := range rt.recs {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func loadRecordTrace(r *trace.CompressedReader, name string) (*recordTrace, error) {
+	rt := &recordTrace{name: name, recs: make([]trace.Record, 0, r.Remaining())}
+	for {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		rt.recs = append(rt.recs, rec)
+	}
+	return rt, r.Err()
+}
+
+// generateRecords runs the workload generator for exactly n records —
+// the same count materialize and the timed CPU model consume, so a
+// cached record trace is bit-identical input for both.
+func generateRecords(p *workload.Profile, n uint64) (*recordTrace, error) {
+	g, err := workload.New(p)
+	if err != nil {
+		return nil, err
+	}
+	rt := &recordTrace{name: p.Name, recs: make([]trace.Record, n)}
+	for i := range rt.recs {
+		rt.recs[i], _ = g.Next()
+	}
+	return rt, nil
+}
+
+// extractData derives the D-cache stream from a record trace. This is
+// materialize's data loop verbatim — materialize stays as the
+// generator-driven oracle the differential tests compare against.
+func extractData(rt *recordTrace) *dataTrace {
+	dt := &dataTrace{name: rt.name}
+	dt.accs = make([]memAcc, 0, len(rt.recs)/3)
+	for _, rec := range rt.recs {
+		if rec.Kind.IsMem() {
+			dt.accs = append(dt.accs, cache.NewMemAccess(rec.Mem, rec.Kind == trace.Store))
+		}
+	}
+	return dt
+}
+
+// extractFetch derives the I-cache stream from a record trace at one
+// line size — materialize's fetch-collapse loop verbatim.
+func extractFetch(rt *recordTrace, lineBytes int) *fetchTrace {
+	ft := &fetchTrace{name: rt.name}
+	ft.pcs = make([]addr.Addr, 0, len(rt.recs)/4)
+	lineMask := ^addr.Addr(uint64(lineBytes) - 1)
+	curLine := ^addr.Addr(0)
+	for _, rec := range rt.recs {
+		if line := rec.PC & lineMask; line != curLine {
+			curLine = line
+			ft.pcs = append(ft.pcs, rec.PC)
+		}
+	}
+	return ft
+}
+
+// ---- the cache ----
+
+// get returns the payload for key, building it at most once per key.
+// Lookup order: memory (free), spill file (decode, plus a checksum
+// verify on the slot's first reload), build. A corrupt spill file is
+// deleted, counted under Rebuilds, and the entry rebuilt from scratch.
+func (tc *traceCache) get(key traceKey, budget int64,
+	build func() (payload, error),
+	load func(*trace.CompressedReader) (payload, error)) (payload, error) {
 	tel := CurrentTelemetry()
 	tc.mu.Lock()
 	if e, ok := tc.entries[key]; ok {
@@ -156,66 +447,135 @@ func (tc *traceCache) getOnce(key traceKey, p *workload.Profile, n uint64, lineB
 		used := tc.used
 		tc.mu.Unlock()
 		<-e.ready
-		if e.err == nil && e.at.checksum() != e.sum {
-			tc.mu.Lock()
-			// Only discard if the slot still holds this corrupt entry
-			// (another caller may have replaced it already).
-			if cur, ok := tc.entries[key]; ok && cur == e {
-				tc.used -= e.size
-				delete(tc.entries, key)
-				tc.c.Rebuilds++
-			}
-			used = tc.used
-			tc.mu.Unlock()
-			tel.traceCacheEvent(tracespan.KindTraceRebuild, p.Name, time.Time{}, 0, used)
-			return nil, nil, false
-		}
-		tel.traceCacheEvent(tracespan.KindTraceHit, p.Name, time.Time{}, 0, used)
-		return e.at, e.err, true
+		tel.traceCacheEvent(tracespan.KindTraceHit, key.name, time.Time{}, 0, used)
+		return e.val, e.err
 	}
 	e := &traceEntry{ready: make(chan struct{})}
 	tc.ticks++
 	e.lastUse = tc.ticks
 	tc.entries[key] = e
-	tc.c.Misses++
+	slot := tc.spilled[key]
+	verify := slot != nil && !slot.verified
 	tc.mu.Unlock()
 
 	var buildStart time.Time
 	if tel != nil {
 		buildStart = tel.now()
 	}
-	at, err := materialize(p, n, lineBytes)
-	e.at, e.err = at, err
+	var val payload
+	var err error
+	kind := tracespan.KindTraceReload
+	if slot != nil {
+		val, err = reloadSpill(slot, load, verify)
+		if err != nil {
+			// Corrupt or unreadable: delete the file so the next
+			// eviction rewrites it, and fall through to a rebuild.
+			os.Remove(slot.path)
+			tc.mu.Lock()
+			if tc.spilled[key] == slot {
+				delete(tc.spilled, key)
+				tc.c.SpillBytes -= slot.size
+			}
+			tc.c.Rebuilds++
+			used := tc.used
+			tc.mu.Unlock()
+			tel.traceCacheEvent(tracespan.KindTraceRebuild, key.name, time.Time{}, 0, used)
+			slot = nil
+		}
+	}
+	if slot == nil {
+		val, err = build()
+		kind = tracespan.KindTraceBuild
+	}
+	e.val, e.err = val, err
 	if err == nil {
-		e.sum = at.checksum()
+		e.size = val.sizeBytes()
 	}
 	close(e.ready)
 
 	tc.mu.Lock()
+	var victims []spillJob
 	if err != nil {
 		// Failures are not cached; a later call may retry.
 		delete(tc.entries, key)
 	} else {
-		e.size = at.sizeBytes()
+		if slot == nil {
+			tc.c.Misses++
+		} else {
+			tc.c.Reloads++
+			if verify {
+				slot.verified = true
+			}
+		}
+		// Make room BEFORE accounting the new entry, so the resident
+		// high-water mark stays within budget whenever eviction can
+		// keep up.
+		victims = tc.evictLocked(key, budget-e.size)
 		tc.used += e.size
-		tc.evictLocked(key, budget)
+		if tc.used > tc.c.PeakBytes {
+			tc.c.PeakBytes = tc.used
+		}
 	}
 	used := tc.used
 	tc.mu.Unlock()
+	tc.spill(victims, tel)
 	if tel != nil && err == nil {
-		tel.traceCacheEvent(tracespan.KindTraceBuild, p.Name, buildStart, tel.now().Sub(buildStart), used)
+		tel.traceCacheEvent(kind, key.name, buildStart, tel.now().Sub(buildStart), used)
 	}
-	return at, err, true
+	return val, err
 }
 
-// evictLocked drops least-recently-used completed entries (never keep,
-// never ones still building) until used fits budget. The entry count is
-// small — one per (benchmark, seed) — so a linear minimum scan is fine.
-func (tc *traceCache) evictLocked(keep traceKey, budget int64) {
+// putIfAbsent publishes a byproduct payload — the sibling stream
+// extracted while another entry was being built from the same resident
+// record trace. No singleflight: if the key is already present in
+// memory, in flight, or on disk, the byproduct is simply dropped. No
+// counter moves; the publication is an accident of build order, not a
+// lookup.
+func (tc *traceCache) putIfAbsent(key traceKey, val payload, budget int64) {
+	e := &traceEntry{
+		ready: make(chan struct{}),
+		val:   val,
+		size:  val.sizeBytes(),
+	}
+	close(e.ready)
+	tc.mu.Lock()
+	if tc.entries[key] != nil || tc.spilled[key] != nil {
+		tc.mu.Unlock()
+		return
+	}
+	tc.ticks++
+	e.lastUse = tc.ticks
+	tc.entries[key] = e
+	victims := tc.evictLocked(key, budget-e.size)
+	tc.used += e.size
+	if tc.used > tc.c.PeakBytes {
+		tc.c.PeakBytes = tc.used
+	}
+	tc.mu.Unlock()
+	tc.spill(victims, CurrentTelemetry())
+}
+
+// spillJob carries one evicted entry out of the lock for writing.
+type spillJob struct {
+	key traceKey
+	val payload
+}
+
+// evictLocked drops completed entries (never keep, never ones still
+// building) until used fits budget, returning the ones that need a
+// spill file written. Record traces are chosen before stream payloads
+// regardless of recency: decoding a spilled record trace costs about as
+// much as regenerating it, so it is the cheapest tier to lose, and the
+// much smaller extracted streams — the entries the replay loops
+// actually reuse — stay resident. Within a tier the choice is LRU. The
+// entry count is small — a few per (benchmark, seed) — so a linear
+// minimum scan is fine.
+func (tc *traceCache) evictLocked(keep traceKey, budget int64) []spillJob {
+	var jobs []spillJob
 	for tc.used > budget {
 		var victim traceKey
 		var oldest uint64
-		found := false
+		found, foundRecords := false, false
 		for k, e := range tc.entries {
 			if k == keep {
 				continue
@@ -225,17 +585,140 @@ func (tc *traceCache) evictLocked(keep traceKey, budget int64) {
 			default:
 				continue // still building; owner will account for it
 			}
-			if !found || e.lastUse < oldest {
-				victim, oldest, found = k, e.lastUse, true
+			isRecords := k.kind == kindRecords
+			switch {
+			case !found, isRecords && !foundRecords:
+				// First candidate, or first record trace seen.
+			case isRecords == foundRecords && e.lastUse < oldest:
+				// Same tier, older.
+			default:
+				continue
 			}
+			victim, oldest, found, foundRecords = k, e.lastUse, true, isRecords
 		}
 		if !found {
-			return
+			return jobs
 		}
-		tc.used -= tc.entries[victim].size
+		e := tc.entries[victim]
+		tc.used -= e.size
 		delete(tc.entries, victim)
 		tc.c.Evictions++
+		if tc.spilled[victim] == nil {
+			jobs = append(jobs, spillJob{key: victim, val: e.val})
+		}
 	}
+	return jobs
+}
+
+// spillDir lazily creates the process's spill directory.
+func (tc *traceCache) spillDir() (string, error) {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if tc.dir == "" && tc.dirErr == nil {
+		tc.dir, tc.dirErr = os.MkdirTemp("", "bcache-tracespill-")
+	}
+	return tc.dir, tc.dirErr
+}
+
+// spillName derives a stable file name from the key's string form.
+func spillName(k traceKey) string {
+	return fmt.Sprintf("t%016x.bct", stringFNV(k.String()))
+}
+
+func stringFNV(s string) uint64 {
+	const prime = 1099511628211
+	h := uint64(fnvOffset)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime
+	}
+	return h
+}
+
+// spill writes evicted entries to disk, outside the cache lock — the
+// write races only against a concurrent rebuild of the same key, which
+// is benign (both produce content with the same checksum). A failed
+// write degrades to a plain eviction.
+func (tc *traceCache) spill(jobs []spillJob, tel *Telemetry) {
+	if len(jobs) == 0 {
+		return
+	}
+	dir, err := tc.spillDir()
+	if err != nil {
+		return
+	}
+	for _, j := range jobs {
+		path := filepath.Join(dir, spillName(j.key))
+		// The checksum is computed here, not at build time: the payload
+		// is immutable, and only the minority of entries that reach a
+		// spill file ever need one.
+		sum := j.val.checksum()
+		n, err := writeSpill(path, j.val)
+		if err != nil {
+			os.Remove(path)
+			continue
+		}
+		tc.mu.Lock()
+		if tc.spilled[j.key] == nil {
+			tc.spilled[j.key] = &spillSlot{path: path, sum: sum, size: n}
+			tc.c.Spills++
+			tc.c.SpillBytes += n
+		}
+		used := tc.used
+		tc.mu.Unlock()
+		tel.traceCacheEvent(tracespan.KindTraceSpill, j.key.name, time.Time{}, 0, used)
+	}
+}
+
+// writeSpill encodes val into a V2 trace file and reports its size.
+func writeSpill(path string, val payload) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	w, err := trace.NewCompressedWriter(f)
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := val.spillRecords(w); err != nil {
+		f.Close()
+		return 0, err
+	}
+	if err := w.Close(); err != nil {
+		f.Close()
+		return 0, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return 0, err
+	}
+	return st.Size(), f.Close()
+}
+
+// reloadSpill decodes one spill file; when verify is set it also checks
+// the content against the build-time checksum (the slot's first reload
+// — see spillSlot.verified).
+func reloadSpill(slot *spillSlot, load func(*trace.CompressedReader) (payload, error), verify bool) (payload, error) {
+	f, err := os.Open(slot.path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r, err := trace.NewCompressedReader(f)
+	if err != nil {
+		return nil, err
+	}
+	val, err := load(r)
+	if err != nil {
+		return nil, err
+	}
+	if verify {
+		if got := val.checksum(); got != slot.sum {
+			return nil, fmt.Errorf("spill %s: checksum %x, want %x", slot.path, got, slot.sum)
+		}
+	}
+	return val, nil
 }
 
 // traceBudget resolves the Opts knob: 0 means the default budget,
@@ -250,8 +733,99 @@ func (o Opts) traceBudget() int64 {
 	return o.TraceBytes
 }
 
-// cachedTrace is the call-site helper: every miss-rate experiment obtains
-// its streams here instead of calling materialize directly.
-func cachedTrace(opts Opts, p *workload.Profile) (*accessTrace, error) {
-	return sharedTraces.get(p, opts.Instructions, opts.LineBytes, opts.traceBudget())
+// cachedRecords returns the generator output for (p, seed, n), running
+// the generator at most once per key across the whole process.
+func cachedRecords(opts Opts, p *workload.Profile) (*recordTrace, error) {
+	budget := opts.traceBudget()
+	if budget <= 0 {
+		return generateRecords(p, opts.Instructions)
+	}
+	key := traceKey{kind: kindRecords, name: p.Name, seed: p.Seed, instructions: opts.Instructions}
+	val, err := sharedTraces.get(key, budget,
+		func() (payload, error) {
+			sharedTraces.mu.Lock()
+			sharedTraces.c.Generations++
+			sharedTraces.mu.Unlock()
+			return generateRecords(p, opts.Instructions)
+		},
+		func(r *trace.CompressedReader) (payload, error) {
+			return loadRecordTrace(r, p.Name)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*recordTrace), nil
+}
+
+// dataTraceKey/fetchTraceKey name the two stream payloads of one
+// (profile, seed, n) — the data key deliberately omits the line size.
+func dataTraceKey(opts Opts, p *workload.Profile) traceKey {
+	return traceKey{kind: kindData, name: p.Name, seed: p.Seed, instructions: opts.Instructions}
+}
+
+func fetchTraceKey(opts Opts, p *workload.Profile) traceKey {
+	return traceKey{kind: kindFetch, name: p.Name, seed: p.Seed,
+		instructions: opts.Instructions, lineBytes: opts.LineBytes}
+}
+
+// cachedData is the D-side call-site helper: every data-cache
+// experiment obtains its stream here instead of calling materialize
+// directly. A miss extracts from the cached record trace — and, while
+// that trace is resident, also extracts the opts.LineBytes fetch stream
+// and publishes it as a byproduct, so a later I-side experiment at the
+// same line size hits without reloading the record trace.
+func cachedData(opts Opts, p *workload.Profile) (*dataTrace, error) {
+	budget := opts.traceBudget()
+	if budget <= 0 {
+		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		return &dataTrace{name: at.name, accs: at.data}, nil
+	}
+	val, err := sharedTraces.get(dataTraceKey(opts, p), budget,
+		func() (payload, error) {
+			rt, err := cachedRecords(opts, p)
+			if err != nil {
+				return nil, err
+			}
+			sharedTraces.putIfAbsent(fetchTraceKey(opts, p), extractFetch(rt, opts.LineBytes), budget)
+			return extractData(rt), nil
+		},
+		func(r *trace.CompressedReader) (payload, error) {
+			return loadDataTrace(r, p.Name)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*dataTrace), nil
+}
+
+// cachedFetch is cachedData's I-side twin; a miss publishes the data
+// stream as the byproduct.
+func cachedFetch(opts Opts, p *workload.Profile) (*fetchTrace, error) {
+	budget := opts.traceBudget()
+	if budget <= 0 {
+		at, err := materialize(p, opts.Instructions, opts.LineBytes)
+		if err != nil {
+			return nil, err
+		}
+		return &fetchTrace{name: at.name, pcs: at.fetch}, nil
+	}
+	val, err := sharedTraces.get(fetchTraceKey(opts, p), budget,
+		func() (payload, error) {
+			rt, err := cachedRecords(opts, p)
+			if err != nil {
+				return nil, err
+			}
+			sharedTraces.putIfAbsent(dataTraceKey(opts, p), extractData(rt), budget)
+			return extractFetch(rt, opts.LineBytes), nil
+		},
+		func(r *trace.CompressedReader) (payload, error) {
+			return loadFetchTrace(r, p.Name)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return val.(*fetchTrace), nil
 }

@@ -136,7 +136,7 @@ func checkFig3Cliff(opts Opts) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	at, err := cachedTrace(opts, p)
+	at, err := cachedData(opts, p)
 	if err != nil {
 		return "", false, err
 	}
@@ -145,7 +145,7 @@ func checkFig3Cliff(opts Opts) (string, bool, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		replay(at, bc, dSide)
+		replayData(at.accs, bc)
 		return bc.Stats().MissRate(), bc.PDStats().HitRateDuringMiss(), nil
 	}
 	m32, pd32, err := rate(32)
@@ -340,7 +340,7 @@ func check3C(opts Opts) (string, bool, error) {
 	if err != nil {
 		return "", false, err
 	}
-	at, err := cachedTrace(opts, p)
+	at, err := cachedData(opts, p)
 	if err != nil {
 		return "", false, err
 	}
@@ -349,8 +349,8 @@ func check3C(opts Opts) (string, bool, error) {
 		if err != nil {
 			return threec.Counts{}, err
 		}
-		for _, m := range at.data {
-			cl.Access(m.a, m.write)
+		for _, m := range at.accs {
+			cl.Access(m.Addr(), m.Write())
 		}
 		return cl.Counts(), nil
 	}

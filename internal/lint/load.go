@@ -85,6 +85,15 @@ func Load(dir string, patterns ...string) ([]*checkedPackage, error) {
 		if p.ForTest == "" && hasVariant[p.ImportPath] {
 			continue // the test variant supersedes the plain compilation
 		}
+		if undecorated, _, ok := strings.Cut(p.ImportPath, " ["); ok &&
+			undecorated != p.ForTest && undecorated != p.ForTest+"_test" {
+			// A foreign recompilation — package p rebuilt for another
+			// package's test binary (test files closing an import cycle
+			// back to p). Same sources as the plain or own-test variant,
+			// but without p's test files, so analyzing it would duplicate
+			// findings and false-positive the test-presence checks.
+			continue
+		}
 		if p.Error != nil {
 			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
 		}

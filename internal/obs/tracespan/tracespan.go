@@ -48,6 +48,11 @@ const (
 	KindTraceBuild = "trace_build"
 	// KindTraceRebuild marks a checksum-failed entry being discarded.
 	KindTraceRebuild = "trace_rebuild"
+	// KindTraceSpill marks an evicted trace being written to disk.
+	KindTraceSpill = "trace_spill"
+	// KindTraceReload marks a spilled trace being read back from disk
+	// (dur carries the decode time, like trace_build).
+	KindTraceReload = "trace_reload"
 	// KindExperiment is one whole experiment from the CLI's perspective.
 	KindExperiment = "experiment"
 	// KindLease marks a distributed lease being granted (Detail carries

@@ -30,6 +30,23 @@ func New(seed uint64) *Source {
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
 
+// Split derives an independent child generator from r's current state and
+// the given stream number without consuming any values from r: the same
+// (state, stream) pair always yields the same child, and distinct streams
+// yield uncorrelated children. Sharded simulations use this to give each
+// shard (e.g. each cache set) its own deterministic stream, so results do
+// not depend on the order shards happen to draw in.
+func (r *Source) Split(stream uint64) *Source {
+	// Fold the parent state and the stream number through SplitMix64 (via
+	// New), mixing the stream with the golden-ratio increment so that
+	// consecutive stream numbers land far apart in seed space.
+	seed := r.s[0]
+	seed = rotl(seed, 23) ^ r.s[1]
+	seed = rotl(seed, 19) ^ r.s[2]
+	seed = rotl(seed, 17) ^ r.s[3]
+	return New(seed ^ (stream+1)*0x9E3779B97F4A7C15)
+}
+
 // Uint64 returns the next value in the stream.
 func (r *Source) Uint64() uint64 {
 	result := rotl(r.s[1]*5, 7) * 9

@@ -151,3 +151,38 @@ func TestCycleSingleCycle(t *testing.T) {
 		}
 	}
 }
+
+func TestSplitDeterministicAndPure(t *testing.T) {
+	a, b := New(42), New(42)
+	// Split must not consume from the parent: both parents stay in
+	// lockstep afterwards, and equal (state, stream) pairs yield equal
+	// children.
+	c1, c2 := a.Split(7), b.Split(7)
+	for i := 0; i < 100; i++ {
+		if v1, v2 := c1.Uint64(), c2.Uint64(); v1 != v2 {
+			t.Fatalf("step %d: children diverge: %#x vs %#x", i, v1, v2)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if v1, v2 := a.Uint64(), b.Uint64(); v1 != v2 {
+			t.Fatalf("step %d: parents diverge after Split: %#x vs %#x", i, v1, v2)
+		}
+	}
+}
+
+func TestSplitStreamsDistinct(t *testing.T) {
+	parent := New(42)
+	// Children of distinct streams (including stream 0) must differ from
+	// each other and from the parent's own output.
+	seen := map[uint64]uint64{parent.Split(0).Uint64(): 0}
+	for s := uint64(1); s < 64; s++ {
+		v := parent.Split(s).Uint64()
+		if prev, dup := seen[v]; dup {
+			t.Fatalf("streams %d and %d collide on first draw %#x", prev, s, v)
+		}
+		seen[v] = s
+	}
+	if v := parent.Uint64(); func() bool { _, dup := seen[v]; return dup }() {
+		t.Fatalf("parent's own stream collides with a child's first draw %#x", v)
+	}
+}

@@ -1,0 +1,180 @@
+package stackdist
+
+import (
+	"testing"
+
+	"bcache/internal/addr"
+	"bcache/internal/rng"
+)
+
+// fifoScanSim replays blocks against per-set FIFO queues kept as plain
+// slices — the scan-engine reference: eviction strictly in insertion
+// order, hits leaving the queue untouched — and returns the miss count
+// for a (sets, ways) FIFO cache. It is the in-test oracle NewFIFOProfile
+// is differentially checked against.
+func fifoScanSim(blocks []addr.Addr, sets, ways int) uint64 {
+	queues := make([][]addr.Addr, sets)
+	mask := addr.Addr(sets - 1)
+	var misses uint64
+	for _, b := range blocks {
+		q := queues[b&mask]
+		resident := false
+		for _, x := range q {
+			if x == b {
+				resident = true
+				break
+			}
+		}
+		if resident {
+			continue
+		}
+		misses++
+		if len(q) == ways {
+			q = q[1:]
+		}
+		queues[b&mask] = append(q, b)
+	}
+	return misses
+}
+
+func TestFIFOProfileMatchesScanSim(t *testing.T) {
+	blocks := randomBlocks(20000, 13)
+	var geoms []Geom
+	setCounts := []int{1, 2, 16, 64}
+	wayCounts := []int{1, 2, 3, 8, 64}
+	for _, s := range setCounts {
+		for _, w := range wayCounts {
+			geoms = append(geoms, Geom{Sets: s, Ways: w})
+		}
+	}
+	p, err := NewFIFOProfile(1, geoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range blocks {
+		p.Access(b)
+	}
+	if got := p.Accesses(); got != uint64(len(blocks)) {
+		t.Fatalf("accesses = %d, want %d", got, len(blocks))
+	}
+	for _, s := range setCounts {
+		for _, w := range wayCounts {
+			got, err := p.Misses(s, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fifoScanSim(blocks, s, w); got != want {
+				t.Errorf("sets=%d ways=%d: misses = %d, want %d", s, w, got, want)
+			}
+		}
+	}
+}
+
+// TestFIFOProfileLineShift: byte addresses must collapse to line granules
+// before profiling, exactly as a real cache indexes.
+func TestFIFOProfileLineShift(t *testing.T) {
+	const lineBytes = 32
+	src := rng.New(5)
+	bytesAddrs := make([]addr.Addr, 10000)
+	blocks := make([]addr.Addr, len(bytesAddrs))
+	for i := range bytesAddrs {
+		bytesAddrs[i] = addr.Addr(src.Intn(1 << 18))
+		blocks[i] = bytesAddrs[i] / lineBytes
+	}
+	p, err := NewFIFOProfile(lineBytes, []Geom{{Sets: 8, Ways: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range bytesAddrs {
+		p.Access(a)
+	}
+	got, err := p.Misses(8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fifoScanSim(blocks, 8, 4); got != want {
+		t.Fatalf("misses = %d, want %d", got, want)
+	}
+}
+
+// TestFIFONoInclusion pins the reason each geometry carries its own
+// state: FIFO exhibits Belady's anomaly, so a larger queue is NOT
+// guaranteed fewer misses. The canonical 12-reference string misses more
+// at 4 frames than at 3.
+func TestFIFONoInclusion(t *testing.T) {
+	belady := []addr.Addr{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}
+	p, err := NewFIFOProfile(1, []Geom{{Sets: 1, Ways: 3}, {Sets: 1, Ways: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range belady {
+		p.Access(b)
+	}
+	m3, _ := p.Misses(1, 3)
+	m4, _ := p.Misses(1, 4)
+	if m3 != 9 || m4 != 10 {
+		t.Fatalf("Belady sequence: misses(3)=%d misses(4)=%d, want 9 and 10", m3, m4)
+	}
+}
+
+func TestFIFOProfileValidation(t *testing.T) {
+	if _, err := NewFIFOProfile(3, []Geom{{Sets: 1, Ways: 1}}); err == nil {
+		t.Fatal("non-power-of-two line size accepted")
+	}
+	if _, err := NewFIFOProfile(32, nil); err == nil {
+		t.Fatal("empty geometry list accepted")
+	}
+	if _, err := NewFIFOProfile(32, []Geom{{Sets: 3, Ways: 1}}); err == nil {
+		t.Fatal("non-power-of-two set count accepted")
+	}
+	if _, err := NewFIFOProfile(32, []Geom{{Sets: 4, Ways: 0}}); err == nil {
+		t.Fatal("zero ways accepted")
+	}
+	p, err := NewFIFOProfile(32, []Geom{{Sets: 4, Ways: 2}, {Sets: 4, Ways: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.geoms) != 1 {
+		t.Fatalf("duplicate geometry not collapsed: %d states", len(p.geoms))
+	}
+	if _, err := p.Misses(4, 8); err == nil {
+		t.Fatal("unprofiled geometry did not error")
+	}
+}
+
+// FuzzFIFOProfileVsScanSim feeds arbitrary short streams through the
+// one-pass profiler and the queue-scan oracle at several geometries.
+func FuzzFIFOProfileVsScanSim(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 1, 2, 5, 1, 2, 3, 4, 5}, uint8(1))
+	f.Add([]byte{0, 0, 0}, uint8(2))
+	f.Add([]byte{7, 7, 9, 200, 7, 9}, uint8(0))
+	f.Fuzz(func(t *testing.T, raw []byte, salt uint8) {
+		if len(raw) == 0 || len(raw) > 4096 {
+			return
+		}
+		blocks := make([]addr.Addr, len(raw))
+		for i, b := range raw {
+			blocks[i] = addr.Addr(b) ^ addr.Addr(salt)<<3
+		}
+		geoms := []Geom{
+			{Sets: 1, Ways: 1}, {Sets: 1, Ways: 3}, {Sets: 1, Ways: 4},
+			{Sets: 4, Ways: 2}, {Sets: 8, Ways: 3},
+		}
+		p, err := NewFIFOProfile(1, geoms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range blocks {
+			p.Access(b)
+		}
+		for _, g := range geoms {
+			got, err := p.Misses(g.Sets, g.Ways)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := fifoScanSim(blocks, g.Sets, g.Ways); got != want {
+				t.Fatalf("sets=%d ways=%d: profiler %d != scan %d", g.Sets, g.Ways, got, want)
+			}
+		}
+	})
+}

@@ -36,7 +36,7 @@ type Balance struct {
 
 // Analyze classifies the per-frame counters of s.
 func Analyze(s *cache.Stats) (Balance, error) {
-	n := len(s.FrameAccesses)
+	n := s.Frames()
 	if n == 0 {
 		return Balance{}, fmt.Errorf("stats: cache has no per-frame counters")
 	}
@@ -59,9 +59,9 @@ func Analyze(s *cache.Stats) (Balance, error) {
 			fmSets++
 			fmMisses += s.FrameMisses[i]
 		}
-		if float64(s.FrameAccesses[i]) < avgAccesses/2 {
+		if fa := s.FrameAccess(i); float64(fa) < avgAccesses/2 {
 			laSets++
-			laAccesses += s.FrameAccesses[i]
+			laAccesses += fa
 		}
 	}
 	b.FreqHitSets = float64(fhSets) / float64(n)

@@ -157,6 +157,24 @@ func NewCompressedReader(r io.Reader) (*CompressedReader, error) {
 	return &CompressedReader{r: br, count: count}, nil
 }
 
+// Remaining reports how many records are left to decode, or 0 when the
+// header carried no count (an unclosed writer). Loaders use it to size
+// their slices exactly instead of growing through append.
+func (cr *CompressedReader) Remaining() uint64 {
+	if cr.err != nil || cr.count == ^uint64(0) {
+		return 0
+	}
+	return cr.count
+}
+
+// fail records a decode error and terminates the stream. A method
+// rather than a closure inside Next: the closure would be allocated on
+// every call of the hot decode loop.
+func (cr *CompressedReader) fail(what string, err error) {
+	cr.err = fmt.Errorf("%w: v2 %s: %v", ErrBadFormat, what, err)
+	cr.count = 0
+}
+
 // Next implements Stream.
 func (cr *CompressedReader) Next() (Record, bool) {
 	if cr.err != nil || cr.count == 0 {
@@ -170,11 +188,6 @@ func (cr *CompressedReader) Next() (Record, bool) {
 		cr.count = 0
 		return Record{}, false
 	}
-	fail := func(what string, err error) (Record, bool) {
-		cr.err = fmt.Errorf("%w: v2 %s: %v", ErrBadFormat, what, err)
-		cr.count = 0
-		return Record{}, false
-	}
 	var rec Record
 	rec.Kind = Kind(flags & flagKindMask)
 	if flags&flagPCSeq != 0 {
@@ -182,29 +195,45 @@ func (cr *CompressedReader) Next() (Record, bool) {
 	} else {
 		u, err := binary.ReadUvarint(cr.r)
 		if err != nil {
-			return fail("pc delta", err)
+			cr.fail("pc delta", err)
+			return Record{}, false
 		}
 		rec.PC = addr.Addr(int64(cr.prevPC) + unzigzag(u))
 	}
 	if flags&flagHasMem != 0 {
 		u, err := binary.ReadUvarint(cr.r)
 		if err != nil {
-			return fail("mem delta", err)
+			cr.fail("mem delta", err)
+			return Record{}, false
 		}
 		rec.Mem = addr.Addr(int64(cr.prevM) + unzigzag(u))
 		cr.prevM = rec.Mem
 	}
-	var regs [3]byte
-	if _, err := io.ReadFull(cr.r, regs[:]); err != nil {
-		return fail("registers", err)
+	// Three ReadByte calls instead of io.ReadFull: the bufio fast path
+	// inlines, and this loop decodes millions of records per reload.
+	b1, err := cr.r.ReadByte()
+	if err != nil {
+		cr.fail("registers", err)
+		return Record{}, false
 	}
-	rec.Src1, rec.Src2, rec.Dst = regs[0], regs[1], regs[2]
+	b2, err := cr.r.ReadByte()
+	if err != nil {
+		cr.fail("registers", err)
+		return Record{}, false
+	}
+	b3, err := cr.r.ReadByte()
+	if err != nil {
+		cr.fail("registers", err)
+		return Record{}, false
+	}
+	rec.Src1, rec.Src2, rec.Dst = b1, b2, b3
 	if flags&flagLatIs1 != 0 {
 		rec.Lat = 1
 	} else {
 		lat, err := cr.r.ReadByte()
 		if err != nil {
-			return fail("latency", err)
+			cr.fail("latency", err)
+			return Record{}, false
 		}
 		rec.Lat = lat
 	}

@@ -108,6 +108,20 @@ func (s *SliceStream) Next() (Record, bool) {
 	return r, true
 }
 
+// Rest returns the records not yet consumed, without advancing the
+// stream. Hot consumers (the cpu timing model) index this slice
+// directly instead of paying an interface call per record.
+func (s *SliceStream) Rest() []Record { return s.recs[s.pos:] }
+
+// Skip advances the stream past n records (clamped to the remainder),
+// keeping Next consistent after a consumer drained Rest directly.
+func (s *SliceStream) Skip(n int) {
+	if rest := len(s.recs) - s.pos; n > rest {
+		n = rest
+	}
+	s.pos += n
+}
+
 // Take drains up to n records from st into a slice.
 func Take(st Stream, n int) []Record {
 	out := make([]Record, 0, n)

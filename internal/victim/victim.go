@@ -35,6 +35,13 @@ type Cache struct {
 	// BufferHits counts hits served from the victim buffer; these take
 	// an extra cycle when the buffer is probed after the main cache.
 	BufferHits uint64
+
+	// Address-slicing constants of the main geometry, precomputed once:
+	// Access runs once per simulated reference, and re-deriving them
+	// from Geometry per call is measurable at suite scale.
+	lineMask addr.Addr
+	offBits  uint
+	idxMask  int
 }
 
 var _ cache.Cache = (*Cache)(nil)
@@ -49,11 +56,15 @@ func New(size, lineBytes, entries int) (*Cache, error) {
 	if err != nil {
 		return nil, err
 	}
+	g := main.Geometry()
 	return &Cache{
-		main:    main,
-		buf:     stackdist.NewIndex(entries),
-		entries: entries,
-		stats:   cache.NewStats(main.Geometry().Frames),
+		main:     main,
+		buf:      stackdist.NewIndex(entries),
+		entries:  entries,
+		stats:    cache.NewStats(g.Frames),
+		lineMask: ^addr.Addr(uint64(g.LineBytes) - 1),
+		offBits:  g.OffsetBits(),
+		idxMask:  g.Sets - 1,
 	}, nil
 }
 
@@ -62,10 +73,6 @@ func (c *Cache) Entries() int { return c.entries }
 
 // Access implements cache.Cache.
 func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
-	g := c.main.Geometry()
-	line := addr.Align(a, uint64(g.LineBytes))
-	frame := g.Index(a)
-
 	if c.main.Contains(a) {
 		r := c.main.Access(a, write)
 		c.stats.Record(r.Frame, true, write)
@@ -74,6 +81,8 @@ func (c *Cache) Access(a addr.Addr, write bool) cache.Result {
 		}
 		return r
 	}
+	line := a & c.lineMask
+	frame := int(a>>c.offBits) & c.idxMask
 
 	// Main miss: probe the buffer.
 	if n := c.buf.Get(line); n != nil {
@@ -155,7 +164,7 @@ func (c *Cache) Contains(a addr.Addr) bool {
 	if c.main.Contains(a) {
 		return true
 	}
-	return c.buf.Get(addr.Align(a, uint64(c.main.Geometry().LineBytes))) != nil
+	return c.buf.Get(a&c.lineMask) != nil
 }
 
 // Stats implements cache.Cache.
