@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race race-robust vet lint lint-build lint-fix fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare mem-ceiling telemetry-smoke chaos clean
+.PHONY: all build test race race-robust vet lint lint-build lint-fix lint-facts-clean fmt-check ci bench bench-obs bench-perf bench-perf-json bench-compare mem-ceiling telemetry-smoke chaos clean
 
 # benchstat-friendly repetition count for bench-perf.
 BENCH_COUNT ?= 6
@@ -26,12 +26,14 @@ LINTBIN := bin/bcachelint
 lint-build:
 	$(GO) build -o $(LINTBIN) ./cmd/bcachelint
 
-# lint runs the four project analyzers (determinism, probesafe,
-# oraclepair, statjson; see DESIGN.md §12) twice over the tree:
+# lint runs the eight project analyzers (determinism, probesafe,
+# oraclepair, statjson, lockdiscipline, atomicdiscipline, splitstream,
+# goroutinelife; see DESIGN.md §12 and §16) twice over the tree:
 # standalone — whole-module load, widest compilations, which catches a
 # package whose test files were deleted wholesale — and through
 # `go vet -vettool=`, exercising the unitchecker protocol the go command
-# drives. Suppressions use //bcachelint:allow analyzer(reason).
+# drives (including cross-package fact flow via PackageVetx).
+# Suppressions use //bcachelint:allow analyzer(reason).
 lint: lint-build
 	$(LINTBIN) ./...
 	$(GO) vet -vettool=$(abspath $(LINTBIN)) ./...
@@ -40,6 +42,18 @@ lint: lint-build
 # file:line links; it never fails the build.
 lint-fix: lint-build
 	-$(LINTBIN) -group ./...
+
+# lint-facts-clean proves the cross-package fact encoding deterministic:
+# two consecutive standalone runs must write byte-identical .vetx files.
+# A diff here means an analyzer is emitting facts from unsorted state,
+# which would defeat the go command's vet caching and poison
+# reproducibility of lint results themselves.
+lint-facts-clean: lint-build
+	rm -rf bin/facts-a bin/facts-b
+	$(LINTBIN) -write-facts bin/facts-a ./...
+	$(LINTBIN) -write-facts bin/facts-b ./...
+	diff -r bin/facts-a bin/facts-b
+	@echo "fact files byte-stable across runs"
 
 # race-robust is the focused race gate for the crash-safety layer: the
 # unit scheduler, checkpoint, and fault injector do real concurrent
@@ -54,11 +68,15 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# ci is the full local gate: formatting, vet, the project linters,
-# build, the focused robustness race gate, and the race-enabled test
-# suite (probes attached under -race is an explicit acceptance criterion
-# of the observability layer). lint is fatal: a finding without a
-# justified //bcachelint:allow fails CI.
+# ci is the full local gate: formatting, vet (stdlib copylocks/atomic
+# back up the custom analyzers), the project linters, the fact-encoding
+# determinism check, build, the focused robustness race gate, the
+# race-enabled test suite (probes attached under -race is an explicit
+# acceptance criterion of the observability layer), and the
+# distributed-execution chaos suite — promoted to fatal per its
+# documented path after a clean week since PR 7 (see CHANGES.md, PR 10).
+# lint is fatal: a finding without a justified //bcachelint:allow fails
+# CI.
 #
 # telemetry-smoke and bench-compare run last as non-fatal reports, each
 # surfacing a labeled warning on failure so a scan of the CI log finds
@@ -66,9 +84,8 @@ fmt-check:
 # kernel throughput on a shared box is too noisy to hard-gate. Promotion
 # path to fatal: once each has a clean week in CI logs, drop its `||
 # echo` fallback so the recipe's exit status gates the build.
-ci: fmt-check vet lint build race-robust race
+ci: fmt-check vet lint lint-facts-clean build race-robust race chaos
 	@$(MAKE) telemetry-smoke || echo "[telemetry-smoke] WARNING: live telemetry smoke failed (non-fatal; see above)"
-	@$(MAKE) chaos || echo "[chaos] WARNING: distributed-execution chaos suite failed (non-fatal; see above)"
 	@$(MAKE) bench-compare || echo "[bench-regression] WARNING: kernel throughput regressed >15% vs BENCH_perf.json (non-fatal; rerun 'make bench-compare' on a quiet box)"
 	@$(MAKE) mem-ceiling || echo "[mem-ceiling] WARNING: suite resident trace-cache peak in BENCH_perf.json exceeds the 256 MiB budget (non-fatal; see above)"
 
@@ -76,10 +93,9 @@ ci: fmt-check vet lint build race-robust race
 # worker subprocesses SIGKILLed mid-campaign, SIGINT drain, and
 # coordinator-crash shard recovery, each asserting bit-identical merges
 # against the sequential oracle (see internal/dist/distrun/chaos_test.go).
-# Non-fatal in ci for now — it forks real subprocesses, which some CI
-# sandboxes forbid. Promotion path to fatal: once it has a clean week in
-# CI logs, drop the `|| echo` fallback above so its exit status gates
-# the build.
+# Fatal in ci since PR 10: the suite had been green since PR 7, so per
+# its documented promotion path it now gates the build as a hard
+# prerequisite of the ci target.
 chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestSIGINT|TestMergeShardDir' ./internal/dist/distrun
 	$(GO) test -race -count=1 ./internal/dist

@@ -1,7 +1,8 @@
-// Command bcachelint is the repo's static-analysis multichecker: four
+// Command bcachelint is the repo's static-analysis multichecker: eight
 // project-specific analyzers (determinism, probesafe, oraclepair,
-// statjson — see internal/lint) that machine-check the invariants the
-// paper reproduction's credibility rests on.
+// statjson, lockdiscipline, atomicdiscipline, splitstream,
+// goroutinelife — see internal/lint) that machine-check the invariants
+// the paper reproduction's credibility rests on.
 //
 // Standalone mode type-checks and analyzes package patterns:
 //
@@ -40,8 +41,9 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("bcachelint", flag.ContinueOnError)
 	group := fs.Bool("group", false, "group findings by analyzer instead of position order")
 	list := fs.Bool("analyzers", false, "list the analyzers and exit")
+	writeFacts := fs.String("write-facts", "", "write per-package .vetx fact files into this `dir` after analysis")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: bcachelint [-group] [-analyzers] [packages]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: bcachelint [-group] [-analyzers] [-write-facts dir] [packages]\n\n")
 		fmt.Fprintf(fs.Output(), "Runs the project analyzers over the packages (default ./...).\n\n")
 		fs.PrintDefaults()
 	}
@@ -72,6 +74,12 @@ func run(args []string) int {
 			return 2
 		}
 		diags = append(diags, d...)
+	}
+	if *writeFacts != "" {
+		if err := lint.WriteFacts(pkgs, *writeFacts); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 	}
 	lint.SortDiagnostics(diags)
 	diags = lint.DedupDiagnostics(diags)

@@ -87,6 +87,7 @@ func smoke(bin string, timeout time.Duration) error {
 	// for the failure report.
 	addrc := make(chan string, 1)
 	var tail strings.Builder
+	//bcachelint:allow goroutinelife(scanner drains the child's stderr pipe; it exits when cmd.Wait closes the pipe, which this function always reaches)
 	go func() {
 		sc := bufio.NewScanner(stderr)
 		for sc.Scan() {
@@ -121,6 +122,7 @@ func smoke(bin string, timeout time.Duration) error {
 		return fmt.Errorf("interrupt: %w", err)
 	}
 	waitc := make(chan error, 1)
+	//bcachelint:allow goroutinelife(single buffered send of cmd.Wait; abandoned only on the deadline path, where the smoke run fails and the process exits)
 	go func() { waitc <- cmd.Wait() }()
 	select {
 	case err = <-waitc:

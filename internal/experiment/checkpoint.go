@@ -42,8 +42,8 @@ type checkpointFile struct {
 type Checkpoint struct {
 	mu    sync.Mutex
 	path  string
-	units map[string]UnitResult
-	dirty int
+	units map[string]UnitResult // guarded by mu
+	dirty int                   // guarded by mu
 	// autosaveEvery flushes to disk after that many new records
 	// (0 = only on explicit Save).
 	autosaveEvery int

@@ -234,6 +234,7 @@ func invokeUnit(i int, timeout time.Duration, fn func(int) (func(), error)) (fun
 		err    error
 	}
 	ch := make(chan outcome, 1)
+	//bcachelint:allow goroutinelife(deliberately abandoned on the timeout path: the buffered send never blocks and the unit's panic protection already ran; see the hung-unit contract above)
 	go func() {
 		c, err := protectUnit(i, fn)
 		ch <- outcome{c, err}

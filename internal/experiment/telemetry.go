@@ -124,10 +124,10 @@ type Telemetry struct {
 	distShardMerge *metrics.Histogram
 
 	mu         sync.Mutex
-	experiment string
-	durs       []float64
-	slowest    float64
-	slowestKey string
+	experiment string    // guarded by mu
+	durs       []float64 // guarded by mu
+	slowest    float64   // guarded by mu
+	slowestKey string    // guarded by mu
 }
 
 // NewTelemetry builds a telemetry hub with a journal of journalCap

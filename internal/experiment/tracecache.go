@@ -158,12 +158,12 @@ type TraceCacheCounters struct {
 
 type traceCache struct {
 	mu      sync.Mutex
-	entries map[traceKey]*traceEntry
-	spilled map[traceKey]*spillSlot
+	entries map[traceKey]*traceEntry // guarded by mu
+	spilled map[traceKey]*spillSlot  // guarded by mu
 	dir     string
 	dirErr  error
-	used    int64
-	ticks   uint64
+	used    int64  // guarded by mu
+	ticks   uint64 // guarded by mu
 	c       TraceCacheCounters
 }
 

@@ -1,8 +1,16 @@
-// Package lint is the project's static-analysis suite: four analyzers
+// Package lint is the project's static-analysis suite: eight analyzers
 // that machine-check invariants the paper's results depend on but that
 // the compiler cannot see — bit-reproducible simulation (determinism),
 // zero-alloc nil-guarded probe emission (probesafe), fast-kernel/oracle
-// twinning (oraclepair), and stable report schemas (statjson).
+// twinning (oraclepair), stable report schemas (statjson), and the
+// concurrency disciplines the differential-oracle methodology rests on:
+// mutex contracts (lockdiscipline), all-or-nothing atomics
+// (atomicdiscipline), per-shard rng streams and capture hygiene in
+// goroutine bodies (splitstream), and provable goroutine lifecycles
+// (goroutinelife). The concurrency analyzers share cross-package facts
+// (facts.go) in both drive modes, so exported ...Locked helpers,
+// atomic fields, concurrent runners, and self-stopping functions are
+// checked at call sites in other packages too.
 //
 // The types here deliberately mirror golang.org/x/tools/go/analysis
 // (Analyzer, Pass, Diagnostic) so the analyzers port mechanically to
@@ -44,9 +52,13 @@ type Analyzer struct {
 	Run func(*Pass) error
 }
 
-// All is the suite, in output order.
+// All is the suite, in output order: the four PR 5 analyzers followed
+// by the four concurrency-invariant analyzers (PR 10).
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, ProbeSafe, OraclePair, StatJSON}
+	return []*Analyzer{
+		Determinism, ProbeSafe, OraclePair, StatJSON,
+		LockDiscipline, AtomicDiscipline, SplitStream, GoroutineLife,
+	}
 }
 
 // A Pass is one (analyzer, package) unit of work: the parsed files,
@@ -69,12 +81,18 @@ type Pass struct {
 	Complete bool
 
 	diags *[]Diagnostic
+	// facts is the run-wide cross-package fact store (see facts.go);
+	// nil only in tests that construct a bare Pass.
+	facts *factStore
 }
 
 // BasePkgPath is PkgPath without any test-variant decoration:
 // "p [p.test]" and the external-test "p_test" both normalize to "p".
-func (p *Pass) BasePkgPath() string {
-	path := p.PkgPath
+func (p *Pass) BasePkgPath() string { return basePkgPath(p.PkgPath) }
+
+// basePkgPath strips build-system decoration from an import path:
+// "p [p.test]" and "p_test" both normalize to "p".
+func basePkgPath(path string) string {
 	if i := strings.Index(path, " ["); i >= 0 {
 		path = path[:i]
 	}
@@ -111,11 +129,20 @@ func (d Diagnostic) String() string {
 // suppressible — an //bcachelint:allow directive cannot excuse itself.
 const DirectiveAnalyzer = "directive"
 
-// directiveRe captures `//bcachelint:allow name(reason)`. The reason is
-// one parenthesis-free clause and may be empty at parse time; emptiness
-// is reported as a finding. Text after the closing parenthesis is
-// ignored, so a directive can share a comment with other annotations.
-var directiveRe = regexp.MustCompile(`^//bcachelint:allow\s+([a-zA-Z]+)\(([^()]*)\)`)
+// directiveRe matches the `//bcachelint:allow` verb; the clauses that
+// follow are parsed by directiveClauseRe. Splitting the two lets one
+// comment carry several suppressions.
+var directiveRe = regexp.MustCompile(`^//bcachelint:allow\s+`)
+
+// directiveClauseRe captures one `name(reason)` clause at the front of
+// the remaining directive text. The reason is one parenthesis-free
+// string and may be empty at parse time; emptiness is reported as a
+// finding. Clauses repeat, whitespace-separated and in any order —
+// `//bcachelint:allow splitstream(r1) goroutinelife(r2)` suppresses
+// both analyzers on the line — and text after the last clause is
+// ignored, so a directive can still share a comment with other
+// annotations.
+var directiveClauseRe = regexp.MustCompile(`^\s*([a-zA-Z]+)\(([^()]*)\)`)
 
 // directive is one parsed //bcachelint:allow comment.
 type directive struct {
@@ -138,13 +165,26 @@ func parseDirectives(fset *token.FileSet, files []*ast.File, sink *[]Diagnostic)
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				m := directiveRe.FindStringSubmatch(c.Text)
-				if m == nil {
+				verb := directiveRe.FindString(c.Text)
+				if verb == "" {
 					*sink = append(*sink, Diagnostic{Pos: pos, Analyzer: DirectiveAnalyzer,
 						Message: fmt.Sprintf("malformed bcachelint directive %q; want //bcachelint:allow analyzer(reason)", c.Text)})
 					continue
 				}
-				ds = append(ds, &directive{pos: pos, analyzer: m[1], reason: strings.TrimSpace(m[2])})
+				rest, parsed := c.Text[len(verb):], 0
+				for {
+					m := directiveClauseRe.FindStringSubmatch(rest)
+					if m == nil {
+						break
+					}
+					ds = append(ds, &directive{pos: pos, analyzer: m[1], reason: strings.TrimSpace(m[2])})
+					rest = rest[len(m[0]):]
+					parsed++
+				}
+				if parsed == 0 {
+					*sink = append(*sink, Diagnostic{Pos: pos, Analyzer: DirectiveAnalyzer,
+						Message: fmt.Sprintf("malformed bcachelint directive %q; want //bcachelint:allow analyzer(reason)", c.Text)})
+				}
 			}
 		}
 	}
@@ -195,6 +235,9 @@ type checkedPackage struct {
 	info     *types.Info
 	pkgPath  string
 	complete bool
+	// facts is shared by every checkedPackage of one Load (or one vet
+	// unit): dependency-order analysis fills it before dependents read.
+	facts *factStore
 }
 
 // PkgPath returns the package's import path as the build system
@@ -226,6 +269,7 @@ func (cp *checkedPackage) RunAnalyzers(analyzers []*Analyzer) ([]Diagnostic, err
 			PkgPath:  cp.pkgPath,
 			Complete: cp.complete,
 			diags:    &diags,
+			facts:    cp.facts,
 		}
 		if err := a.Run(pass); err != nil {
 			return nil, fmt.Errorf("%s: %s: %w", a.Name, cp.pkgPath, err)

@@ -33,6 +33,15 @@ import (
 // the fixtures' want comments.
 func Run(t *testing.T, a *lint.Analyzer, patterns ...string) {
 	t.Helper()
+	RunAnalyzers(t, []*lint.Analyzer{a}, patterns...)
+}
+
+// RunAnalyzers is Run for a set of analyzers sharing one fixture tree.
+// Directive fixtures need it: a line suppressing two analyzers at once
+// can only be exercised when both run, otherwise the unused half is
+// reported as stale.
+func RunAnalyzers(t *testing.T, analyzers []*lint.Analyzer, patterns ...string) {
+	t.Helper()
 	pkgs, err := lint.Load("", patterns...)
 	if err != nil {
 		t.Fatalf("loading %v: %v", patterns, err)
@@ -41,7 +50,7 @@ func Run(t *testing.T, a *lint.Analyzer, patterns ...string) {
 		t.Fatalf("no packages match %v", patterns)
 	}
 	for _, pkg := range pkgs {
-		diags, err := pkg.RunAnalyzers([]*lint.Analyzer{a})
+		diags, err := pkg.RunAnalyzers(analyzers)
 		if err != nil {
 			t.Fatalf("%s: %v", pkg.PkgPath(), err)
 		}

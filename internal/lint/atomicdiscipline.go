@@ -1,0 +1,223 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// AtomicDiscipline enforces all-or-nothing atomicity: once any code
+// accesses a struct field through sync/atomic, every other access to
+// that field must be atomic too — one plain read racing an atomic
+// writer is still a data race, and one the race detector only catches
+// when the interleaving happens to occur under -race. The analyzer
+//
+//   - collects every field reached through an `atomic.XxxNN(&s.f, ...)`
+//     call, exports an atomicField fact for it, and flags plain
+//     reads/writes of the same field anywhere else in the package (and,
+//     via facts, in dependent packages);
+//   - checks that fields used with 64-bit atomic ops sit at an
+//     8-byte-aligned offset under 32-bit (GOARCH=386) layout, the
+//     portability trap sync/atomic documents; atomic.Int64/Uint64
+//     typed fields are exempt — the runtime aligns them.
+//
+// Values still confined to their constructor (the receiver chain roots
+// at a variable declared in the same body) are exempt from the
+// plain-access rule: initialization before sharing is not a race.
+var AtomicDiscipline = &Analyzer{
+	Name: "atomicdiscipline",
+	Doc:  "fields accessed via sync/atomic must never be accessed plainly; 64-bit atomics must be alignment-safe",
+	Run:  runAtomicDiscipline,
+}
+
+func runAtomicDiscipline(pass *Pass) error {
+	fields, operands := collectAtomicFields(pass)
+	exportAtomicFacts(pass, fields, operands)
+	checkPlainAccesses(pass, fields, operands)
+	checkAtomicAlignment(pass, fields)
+	return nil
+}
+
+// atomicField records how one field is accessed atomically.
+type atomicField struct {
+	width int    // 32 or 64; 0 = width-free op (Pointer, Uintptr)
+	owner string // bare name of the struct type, for fact naming
+}
+
+// collectAtomicFields walks every sync/atomic call and records the
+// struct fields its pointer operands name. operands is the set of
+// selector nodes that appear inside those calls, so the plain-access
+// walk can skip them.
+func collectAtomicFields(pass *Pass) (map[types.Object]atomicField, map[*ast.SelectorExpr]bool) {
+	fields := map[types.Object]atomicField{}
+	operands := map[*ast.SelectorExpr]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			width := 0
+			switch {
+			case strings.Contains(fn.Name(), "64"):
+				width = 64
+			case strings.Contains(fn.Name(), "32"):
+				width = 32
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if obj == nil {
+					continue
+				}
+				if v, ok := obj.(*types.Var); !ok || !v.IsField() {
+					continue
+				}
+				operands[sel] = true
+				owner := receiverTypeName(pass.Info.Types[sel.X].Type)
+				if prev, ok := fields[obj]; !ok || prev.width < width {
+					fields[obj] = atomicField{width: width, owner: owner}
+				}
+			}
+			return true
+		})
+	}
+	return fields, operands
+}
+
+// exportAtomicFacts publishes each atomically-accessed field of a type
+// declared in this package, so importing packages flag plain accesses
+// too.
+func exportAtomicFacts(pass *Pass, fields map[types.Object]atomicField, _ map[*ast.SelectorExpr]bool) {
+	for obj, af := range fields {
+		if obj.Pkg() == nil || obj.Pkg().Path() != pass.Pkg.Path() {
+			continue
+		}
+		detail := ""
+		if af.width != 0 {
+			detail = strconv.Itoa(af.width)
+		}
+		pass.ExportFact(objectName(af.owner, obj.Name()), FactAtomicField, detail)
+	}
+}
+
+// checkPlainAccesses flags every selector that names an atomic field
+// outside a sync/atomic call. Cross-package fields are recognized
+// through imported atomicField facts.
+func checkPlainAccesses(pass *Pass, fields map[types.Object]atomicField, operands map[*ast.SelectorExpr]bool) {
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || operands[sel] {
+					return true
+				}
+				obj := pass.Info.Uses[sel.Sel]
+				if obj == nil {
+					return true
+				}
+				v, ok := obj.(*types.Var)
+				if !ok || !v.IsField() {
+					return true
+				}
+				atomicUse, known := fields[obj]
+				if !known && obj.Pkg() != nil && obj.Pkg().Path() != pass.Pkg.Path() {
+					owner := receiverTypeName(pass.Info.Types[sel.X].Type)
+					if _, ok := pass.FindImportedFact(obj.Pkg().Path(), FactAtomicField, objectName(owner, obj.Name())); ok {
+						known = true
+						atomicUse.owner = owner
+					}
+				}
+				if !known {
+					return true
+				}
+				if root := rootIdent(sel.X); root != nil {
+					if ro := pass.Info.Uses[root.(*ast.Ident)]; ro != nil &&
+						ro.Pos() >= fn.Body.Pos() && ro.Pos() <= fn.Body.End() {
+						return true // still constructor-local
+					}
+				}
+				pass.Reportf(sel.Pos(), "plain access to %s.%s, which is accessed with sync/atomic elsewhere; use atomic ops for every access", atomicUse.owner, obj.Name())
+				return true
+			})
+		}
+	}
+}
+
+// checkAtomicAlignment verifies 64-bit atomic fields sit at 8-byte
+// offsets under 386 struct layout, where the compiler only guarantees
+// 4-byte alignment for int64.
+func checkAtomicAlignment(pass *Pass, fields map[types.Object]atomicField) {
+	sizes := types.SizesFor("gc", "386")
+	if sizes == nil {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj := pass.Info.Defs[ts.Name]
+			if obj == nil {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			var vars []*types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				vars = append(vars, st.Field(i))
+			}
+			offsets := sizes.Offsetsof(vars)
+			for i, v := range vars {
+				af, ok := fields[v]
+				if !ok || af.width != 64 {
+					continue
+				}
+				if offsets[i]%8 != 0 {
+					pass.Reportf(fieldDeclPos(pass, ts, v), "64-bit atomic field %s.%s is at offset %d under 32-bit layout; place it first in the struct or use atomic.Int64/Uint64", ts.Name.Name, v.Name(), offsets[i])
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fieldDeclPos locates the declaration position of field v inside the
+// struct type spec, falling back to the spec itself.
+func fieldDeclPos(pass *Pass, ts *ast.TypeSpec, v *types.Var) token.Pos {
+	st, ok := ts.Type.(*ast.StructType)
+	if !ok {
+		return ts.Pos()
+	}
+	for _, f := range st.Fields.List {
+		for _, name := range f.Names {
+			if pass.Info.Defs[name] == v {
+				return name.Pos()
+			}
+		}
+	}
+	return ts.Pos()
+}

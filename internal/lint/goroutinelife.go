@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// GoroutineLife requires every goroutine in non-test code to carry a
+// provable join or stop edge — the static counterpart of the leak
+// hunting the telemetry drain tests do dynamically. A `go` statement
+// passes when the spawned body (the function literal, or the body of
+// the named function it starts) contains one of:
+//
+//   - a channel receive or a range over a channel (done/stop channel
+//     and work-queue patterns, including every select with a receive
+//     case);
+//   - a context liveness check (ctx.Err(); <-ctx.Done() is a receive);
+//   - a WaitGroup Done whose Add is visible in the spawning function
+//     (the classic fork/join pairing).
+//
+// Cross-package spawns (`go pkg.F()`) are resolved through stopEdge
+// facts exported for every function whose body carries its own edge.
+// Anything else — fire-and-forget senders, unbounded background loops —
+// must either gain an edge or carry an audited //bcachelint:allow
+// directive explaining who owns the goroutine's lifetime.
+var GoroutineLife = &Analyzer{
+	Name: "goroutinelife",
+	Doc:  "every go statement in non-test code needs a provable join/stop edge (WaitGroup pairing, done/stop channel, or context check)",
+	Run:  runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) error {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	// Export stop-edge facts for every declared function whose own body
+	// carries an edge, so `go pkg.F()` resolves across packages.
+	for obj, fn := range decls {
+		if bodyHasStopEdge(pass, fn.Body) {
+			recv := ""
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv = receiverTypeName(sig.Recv().Type())
+			}
+			pass.ExportFact(objectName(recv, obj.Name()), FactStopEdge, "")
+		}
+	}
+
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if !goHasLifecycle(pass, fn, g, decls) {
+					pass.Reportf(g.Pos(), "goroutine has no provable join/stop edge (WaitGroup Add/Done pairing, done/stop channel receive, or context check)")
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// goHasLifecycle checks one go statement against the accepted edges.
+func goHasLifecycle(pass *Pass, fn *ast.FuncDecl, g *ast.GoStmt, decls map[*types.Func]*ast.FuncDecl) bool {
+	switch spawned := g.Call.Fun.(type) {
+	case *ast.FuncLit:
+		if bodyHasStopEdge(pass, spawned.Body) {
+			return true
+		}
+		return waitGroupPaired(pass, fn, spawned.Body)
+	default:
+		callee := calleeFunc(pass, g.Call)
+		if callee == nil {
+			return false
+		}
+		if decl, ok := decls[callee]; ok {
+			if bodyHasStopEdge(pass, decl.Body) {
+				return true
+			}
+			return waitGroupPaired(pass, fn, decl.Body)
+		}
+		if callee.Pkg() != nil && callee.Pkg().Path() != pass.Pkg.Path() {
+			recv := ""
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				recv = receiverTypeName(sig.Recv().Type())
+			}
+			_, ok := pass.FindImportedFact(callee.Pkg().Path(), FactStopEdge, objectName(recv, callee.Name()))
+			return ok
+		}
+		return false
+	}
+}
+
+// bodyHasStopEdge reports whether body contains a channel receive, a
+// range over a channel, or a context liveness check.
+func bodyHasStopEdge(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Err" {
+				if isContextType(pass.Info.Types[sel.X].Type) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// waitGroupPaired reports the fork/join pattern: spawnedBody calls
+// Done on a WaitGroup and the spawning function's body shows the
+// matching Add.
+func waitGroupPaired(pass *Pass, fn *ast.FuncDecl, spawnedBody *ast.BlockStmt) bool {
+	doneOn := map[string]bool{}
+	ast.Inspect(spawnedBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Done" {
+			return true
+		}
+		if isWaitGroupType(pass.Info.Types[sel.X].Type) {
+			doneOn[exprString(sel.X)] = true
+		}
+		return true
+	})
+	if len(doneOn) == 0 {
+		return false
+	}
+	paired := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !paired
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Add" {
+			return !paired
+		}
+		if isWaitGroupType(pass.Info.Types[sel.X].Type) && doneOn[exprString(sel.X)] {
+			paired = true
+		}
+		return !paired
+	})
+	return paired
+}
+
+// isWaitGroupType matches sync.WaitGroup and *sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// isContextType matches context.Context.
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

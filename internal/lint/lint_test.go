@@ -23,6 +23,31 @@ func TestStatJSON(t *testing.T) {
 	analysistest.Run(t, lint.StatJSON, "./testdata/src/statjson/...")
 }
 
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, lint.LockDiscipline, "./testdata/src/lockdiscipline/...")
+}
+
+func TestAtomicDiscipline(t *testing.T) {
+	analysistest.Run(t, lint.AtomicDiscipline, "./testdata/src/atomicdiscipline/...")
+}
+
+func TestSplitStream(t *testing.T) {
+	analysistest.Run(t, lint.SplitStream, "./testdata/src/splitstream/...")
+}
+
+func TestGoroutineLife(t *testing.T) {
+	analysistest.Run(t, lint.GoroutineLife, "./testdata/src/goroutinelife/...")
+}
+
+// TestDirectives runs two analyzers over one fixture tree: a line that
+// needs suppressions from both can carry the clauses in either order,
+// and the hygiene findings fire per clause.
+func TestDirectives(t *testing.T) {
+	analysistest.RunAnalyzers(t,
+		[]*lint.Analyzer{lint.SplitStream, lint.GoroutineLife},
+		"./testdata/src/directive/...")
+}
+
 // TestOraclePair swaps in a fixture manifest: the good package keeps
 // both twins and its differential test, the bad package has lost its
 // oracle, one declared test, and the surviving test's oracle reference.

@@ -55,6 +55,11 @@ type listError struct {
 // the test variant where test files exist, the plain package otherwise,
 // plus external-test packages. dir is the working directory for go list
 // ("" = current).
+//
+// The result preserves `go list -deps`'s depth-first post-order —
+// dependencies before dependents — and every returned package shares
+// one fact store, so running the analyzers over the slice in order
+// gives each package the facts its in-module imports exported.
 func Load(dir string, patterns ...string) ([]*checkedPackage, error) {
 	pkgs, err := goList(dir, patterns)
 	if err != nil {
@@ -74,6 +79,7 @@ func Load(dir string, patterns ...string) ([]*checkedPackage, error) {
 	}
 
 	fset := token.NewFileSet()
+	facts := newFactStore()
 	var out []*checkedPackage
 	for _, p := range pkgs {
 		if p.Standard || p.Module == nil {
@@ -101,6 +107,7 @@ func Load(dir string, patterns ...string) ([]*checkedPackage, error) {
 		if err != nil {
 			return nil, err
 		}
+		cp.facts = facts
 		out = append(out, cp)
 	}
 	return out, nil

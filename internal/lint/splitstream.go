@@ -1,0 +1,339 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// SplitStream guards the bit-identical-at-any-worker-count invariant:
+// sharded replay only reproduces when every shard's randomness comes
+// from its own rng.Split-derived stream and no shard's work depends on
+// scheduling order. In any goroutine body — a literal `go func(){...}`
+// or a closure handed to a concurrent runner (a function that launches
+// one of its func-typed parameters, like runUnitsCtl; detected locally
+// and across packages via concurrentRunner facts) — the analyzer flags:
+//
+//   - use of a captured *rng.Source: two goroutines drawing from one
+//     stream make the value sequence depend on interleaving. The one
+//     sanctioned use of a captured source is deriving a child with
+//     .Split(...), which reads no values.
+//   - capture of an enclosing loop variable: even with per-iteration
+//     loop variables the repo convention is to pass shard indices as
+//     parameters, keeping the data flow visible (and the code safe
+//     under older toolchains).
+//   - ranging over a map: iteration order differs per goroutine per
+//     run, so any order-sensitive work inside the body diverges.
+var SplitStream = &Analyzer{
+	Name: "splitstream",
+	Doc:  "goroutine bodies must not capture shared rng streams or loop variables, nor range over maps; per-shard streams come from rng.Split",
+	Run:  runSplitStream,
+}
+
+func runSplitStream(pass *Pass) error {
+	runners := collectRunners(pass)
+	exportRunnerFacts(pass, runners)
+
+	for _, file := range pass.Files {
+		if isTestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkSpawnSites(pass, fn, runners)
+		}
+	}
+	return nil
+}
+
+// collectRunners finds this package's concurrent runners: functions
+// with a func-typed parameter that is referenced inside a `go`
+// statement in the body, closed over the set of functions that forward
+// such a parameter to an already-known runner (the fixpoint catches
+// chains like runUnitsCtl → runOneUnit → invokeUnit).
+func collectRunners(pass *Pass) map[*types.Func][]int {
+	runners := map[*types.Func][]int{}
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				if obj, ok := pass.Info.Defs[fn.Name].(*types.Func); ok {
+					decls[obj] = fn
+				}
+			}
+		}
+	}
+	// Seed: parameters referenced under a GoStmt.
+	for obj, fn := range decls {
+		for idx, param := range funcParams(pass, fn) {
+			if param == nil || !isFuncType(param.Type()) {
+				continue
+			}
+			if paramUsedUnderGo(pass, fn, param) {
+				runners[obj] = append(runners[obj], idx)
+			}
+		}
+	}
+	// Fixpoint: parameters forwarded into a runner's runner position.
+	for changed := true; changed; {
+		changed = false
+		for obj, fn := range decls {
+			for idx, param := range funcParams(pass, fn) {
+				if param == nil || !isFuncType(param.Type()) || hasIndex(runners[obj], idx) {
+					continue
+				}
+				if paramForwardedToRunner(pass, fn, param, runners) {
+					runners[obj] = append(runners[obj], idx)
+					changed = true
+				}
+			}
+		}
+	}
+	return runners
+}
+
+// funcParams returns fn's parameter objects in declaration order (nil
+// for unnamed parameters).
+func funcParams(pass *Pass, fn *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	for _, field := range fn.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			v, _ := pass.Info.Defs[name].(*types.Var)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func isFuncType(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Signature)
+	return ok
+}
+
+func hasIndex(idxs []int, i int) bool {
+	for _, x := range idxs {
+		if x == i {
+			return true
+		}
+	}
+	return false
+}
+
+// paramUsedUnderGo reports whether param is referenced anywhere inside
+// a go statement in fn's body.
+func paramUsedUnderGo(pass *Pass, fn *ast.FuncDecl, param *types.Var) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return !found
+		}
+		ast.Inspect(g, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == param {
+				found = true
+			}
+			return !found
+		})
+		return !found
+	})
+	return found
+}
+
+// paramForwardedToRunner reports whether fn passes param as an argument
+// occupying a runner parameter position of a known runner.
+func paramForwardedToRunner(pass *Pass, fn *ast.FuncDecl, param *types.Var, runners map[*types.Func][]int) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return !found
+		}
+		idxs := runners[callee]
+		if len(idxs) == 0 {
+			return !found
+		}
+		for i, arg := range call.Args {
+			if id, ok := arg.(*ast.Ident); ok && pass.Info.Uses[id] == param && hasIndex(idxs, i) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exportRunnerFacts publishes each runner's func-parameter positions so
+// closures built in other packages are checked at their call sites.
+func exportRunnerFacts(pass *Pass, runners map[*types.Func][]int) {
+	for obj, idxs := range runners {
+		recv := ""
+		if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = receiverTypeName(sig.Recv().Type())
+		}
+		for _, i := range idxs {
+			pass.ExportFact(objectName(recv, obj.Name()), FactConcurrentRunner, strconv.Itoa(i))
+		}
+	}
+}
+
+// checkSpawnSites applies the spawned-body rules to every go statement
+// and every function literal passed to a runner inside fn.
+func checkSpawnSites(pass *Pass, fn *ast.FuncDecl, runners map[*types.Func][]int) {
+	inspectWithStack(fn.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				checkSpawnedBody(pass, lit, loopVarsInScope(pass, stack))
+			}
+		case *ast.CallExpr:
+			idxs := runnerIndexes(pass, n, runners)
+			for _, i := range idxs {
+				if i < len(n.Args) {
+					if lit, ok := n.Args[i].(*ast.FuncLit); ok {
+						checkSpawnedBody(pass, lit, loopVarsInScope(pass, stack))
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// runnerIndexes resolves call's callee to its runner parameter
+// positions, consulting local analysis first and concurrentRunner facts
+// for imported callees.
+func runnerIndexes(pass *Pass, call *ast.CallExpr, runners map[*types.Func][]int) []int {
+	callee := calleeFunc(pass, call)
+	if callee == nil {
+		return nil
+	}
+	if idxs := runners[callee]; len(idxs) > 0 {
+		return idxs
+	}
+	if callee.Pkg() == nil || callee.Pkg().Path() == pass.Pkg.Path() {
+		return nil
+	}
+	recv := ""
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		recv = receiverTypeName(sig.Recv().Type())
+	}
+	var idxs []int
+	for _, f := range pass.ImportedFacts(callee.Pkg().Path(), FactConcurrentRunner) {
+		if f.Object != objectName(recv, callee.Name()) {
+			continue
+		}
+		if i, err := strconv.Atoi(f.Detail); err == nil {
+			idxs = append(idxs, i)
+		}
+	}
+	return idxs
+}
+
+// loopVarsInScope collects the loop variables of every for/range
+// statement on the ancestor stack of a spawn site.
+func loopVarsInScope(pass *Pass, stack []ast.Node) map[types.Object]bool {
+	vars := map[types.Object]bool{}
+	addIdent := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				vars[obj] = true
+			}
+		}
+	}
+	for _, n := range stack {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			addIdent(s.Key)
+			addIdent(s.Value)
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					addIdent(lhs)
+				}
+			}
+		}
+	}
+	return vars
+}
+
+// checkSpawnedBody flags shared-source use, loop-variable capture, and
+// map iteration inside one spawned function literal.
+func checkSpawnedBody(pass *Pass, lit *ast.FuncLit, loopVars map[types.Object]bool) {
+	inspectWithStack(lit.Body, func(n ast.Node, stack []ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			obj := pass.Info.Uses[n]
+			if obj == nil {
+				return true
+			}
+			if loopVars[obj] && declaredOutside(obj, lit) {
+				pass.Reportf(n.Pos(), "goroutine body captures loop variable %s; pass it as a parameter so the shard binding is explicit", n.Name)
+				return true
+			}
+			if isRNGSource(obj.Type()) && declaredOutside(obj, lit) && !isSplitReceiver(n, stack) {
+				pass.Reportf(n.Pos(), "goroutine body captures shared rng source %s; derive a per-shard stream with %s.Split(shard)", n.Name, n.Name)
+			}
+		case *ast.RangeStmt:
+			if t := pass.Info.Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Map); ok {
+					pass.Reportf(n.Pos(), "goroutine body ranges over a map; iteration order is nondeterministic — sort the keys first")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// declaredOutside reports whether obj's declaration lies outside lit,
+// i.e. the literal closes over it.
+func declaredOutside(obj types.Object, lit *ast.FuncLit) bool {
+	return obj.Pos() < lit.Pos() || obj.Pos() > lit.End()
+}
+
+// isRNGSource matches *Source (or Source) from an rng package — the
+// real bcache/internal/rng or a fixture stand-in whose path ends in
+// "rng".
+func isRNGSource(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	if obj.Name() != "Source" && obj.Name() != "Rand" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "rng" || strings.HasSuffix(path, "/rng")
+}
+
+// isSplitReceiver reports whether ident is the receiver of an immediate
+// .Split(...) call — the sanctioned way to consume a captured source.
+func isSplitReceiver(id *ast.Ident, stack []ast.Node) bool {
+	if len(stack) < 2 {
+		return false
+	}
+	sel, ok := stack[len(stack)-1].(*ast.SelectorExpr)
+	if !ok || sel.X != ast.Expr(id) || sel.Sel.Name != "Split" {
+		return false
+	}
+	call, ok := stack[len(stack)-2].(*ast.CallExpr)
+	return ok && call.Fun == ast.Expr(sel)
+}

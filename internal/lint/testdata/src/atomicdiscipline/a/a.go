@@ -1,0 +1,53 @@
+// Package a exercises atomicdiscipline: a field accessed through
+// sync/atomic anywhere must be accessed atomically everywhere, and
+// 64-bit atomics must land on 8-byte offsets under 32-bit layout.
+package a
+
+import "sync/atomic"
+
+// C keeps its 64-bit atomic first, so 386 layout aligns it.
+type C struct {
+	ops uint64
+	pad int32
+}
+
+// Inc is the sanctioned access.
+func (c *C) Inc() { atomic.AddUint64(&c.ops, 1) }
+
+// Read races Inc: a plain load of an atomically-written word.
+func (c *C) Read() uint64 {
+	return c.ops // want `plain access to C\.ops, which is accessed with sync/atomic elsewhere`
+}
+
+// NewC touches ops before the value escapes; constructor-local writes
+// are exempt.
+func NewC() *C {
+	c := &C{}
+	c.ops = 1
+	return c
+}
+
+// reset carries an audited suppression for a deliberate plain write.
+func (c *C) reset() {
+	//bcachelint:allow atomicdiscipline(fixture: reset runs single-threaded between benchmark rounds)
+	c.ops = 0
+}
+
+// M misplaces its 64-bit atomic after an int32: offset 4 under 386
+// rules, where AddInt64 would fault or tear.
+type M struct {
+	flag int32
+	n    int64 // want `64-bit atomic field M\.n is at offset 4 under 32-bit layout`
+}
+
+func (m *M) bump() { atomic.AddInt64(&m.n, 1) }
+
+// Counter is the cross-package fixture: Ops is exported and its
+// atomicField fact follows it into importing packages.
+type Counter struct {
+	Ops uint64
+}
+
+// Inc is Counter's only in-package access — atomic, so package b's
+// plain read is caught purely by the imported fact.
+func (c *Counter) Inc() { atomic.AddUint64(&c.Ops, 1) }

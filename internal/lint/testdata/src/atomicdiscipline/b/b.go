@@ -1,0 +1,16 @@
+// Package b is the cross-package half of the atomicdiscipline fixture:
+// it never calls sync/atomic itself, so the plain read below is only
+// detectable through the atomicField fact package a exported.
+package b
+
+import "bcache/internal/lint/testdata/src/atomicdiscipline/a"
+
+func drain(c *a.Counter) uint64 {
+	return c.Ops // want `plain access to Counter\.Ops, which is accessed with sync/atomic elsewhere`
+}
+
+// auditedDrain reads plainly under a reviewed suppression.
+func auditedDrain(c *a.Counter) uint64 {
+	//bcachelint:allow atomicdiscipline(fixture: all writer goroutines are joined before this read)
+	return c.Ops
+}

@@ -1,0 +1,49 @@
+// Package a pins //bcachelint:allow directive handling when one line
+// needs suppressions from several analyzers: the clauses may appear in
+// any order, and the hygiene findings (stale, missing reason,
+// malformed) still fire per clause. The fixture runs under both
+// splitstream and goroutinelife so each clause has a finding to
+// consume.
+package a
+
+import "bcache/internal/lint/testdata/src/splitstream/rng"
+
+// both suppresses two analyzers from one comment, goroutinelife first.
+func both(src *rng.Source) {
+	//bcachelint:allow goroutinelife(order fixture: lifecycle audited) splitstream(order fixture: stream audited)
+	go func() { _ = src.Uint64() }()
+}
+
+// bothReversed is the same line with the clauses swapped; order must
+// not matter.
+func bothReversed(src *rng.Source) {
+	//bcachelint:allow splitstream(order fixture: stream audited) goroutinelife(order fixture: lifecycle audited)
+	go func() { _ = src.Uint64() }()
+}
+
+// half suppresses only one of the two findings; the other still
+// reports.
+func half(src *rng.Source) {
+	//bcachelint:allow goroutinelife(order fixture: lifecycle audited)
+	go func() { _ = src.Uint64() }() // want `captures shared rng source src`
+}
+
+// stale carries a directive with nothing to suppress.
+func stale() {
+	//bcachelint:allow goroutinelife(nothing here suppresses this) // want `stale bcachelint:allow goroutinelife directive`
+}
+
+// emptyReason uses a suppression that forgot its why.
+func emptyReason(src *rng.Source, done chan struct{}) {
+	go func() {
+		<-done
+		//bcachelint:allow splitstream() // want `has no reason`
+		_ = src.Uint64()
+	}()
+}
+
+// malformed is missing its parentheses entirely.
+func malformed(done chan struct{}) {
+	//bcachelint:allow splitstream // want `malformed bcachelint directive`
+	go func() { <-done }()
+}

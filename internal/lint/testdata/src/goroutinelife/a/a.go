@@ -1,0 +1,75 @@
+// Package a exercises goroutinelife: every go statement needs a
+// provable join/stop edge — WaitGroup pairing, a done/stop channel
+// receive, or a context check.
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+// leak is fire-and-forget with no edge at all.
+func leak() {
+	go func() { // want `no provable join/stop edge`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// joined pairs wg.Add in the spawner with wg.Done in the body.
+func joined() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// stopped blocks on a stop channel.
+func stopped(done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// ctxBound polls context liveness.
+func ctxBound(ctx context.Context) {
+	go func() {
+		for ctx.Err() == nil {
+		}
+	}()
+}
+
+// Pump drains ch until stop closes. Its body carries its own stop
+// edge, so the analyzer exports a stopEdge fact and a bare
+// `go a.Pump(...)` is fine even from another package.
+func Pump(ch chan int, stop chan struct{}) {
+	for {
+		select {
+		case <-ch:
+		case <-stop:
+			return
+		}
+	}
+}
+
+// NoEdge spins forever; spawning it bare anywhere is a leak.
+func NoEdge() {
+	for {
+	}
+}
+
+// spawnNamed covers named-function spawns in both directions.
+func spawnNamed(ch chan int, stop chan struct{}) {
+	go Pump(ch, stop)
+	go NoEdge() // want `no provable join/stop edge`
+}
+
+// audited records why a process-lifetime goroutine is allowed to
+// outlive its spawner.
+func audited() {
+	//bcachelint:allow goroutinelife(fixture: process-lifetime background loop, reaped at exit)
+	go NoEdge()
+}

@@ -1,0 +1,11 @@
+// Package b is the cross-package half of the goroutinelife fixture:
+// `go a.Pump(...)` is only provably bounded because package a exported
+// a stopEdge fact for Pump; NoEdge has no fact and stays a finding.
+package b
+
+import "bcache/internal/lint/testdata/src/goroutinelife/a"
+
+func crossSpawn(ch chan int, stop chan struct{}) {
+	go a.Pump(ch, stop)
+	go a.NoEdge() // want `no provable join/stop edge`
+}

@@ -1,0 +1,25 @@
+// Package b is the cross-package half of the lockdiscipline fixture:
+// package a's exported FlushLocked carries a requiresHeld fact naming
+// its mutex field Mu, and callers here are checked against it.
+package b
+
+import "bcache/internal/lint/testdata/src/lockdiscipline/a"
+
+// good holds the exported mutex across the Locked call.
+func good(r *a.R) {
+	r.Mu.Lock()
+	r.FlushLocked()
+	r.Mu.Unlock()
+}
+
+// bad calls across the package boundary with nothing held.
+func bad(r *a.R) {
+	r.FlushLocked() // want `call to FlushLocked without holding r\.Mu`
+}
+
+// auditedCross suppresses the cross-package finding with a reviewed
+// reason.
+func auditedCross(r *a.R) {
+	//bcachelint:allow lockdiscipline(fixture: r is still confined to the calling test at this point)
+	r.FlushLocked()
+}

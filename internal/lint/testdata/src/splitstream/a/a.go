@@ -1,0 +1,105 @@
+// Package a exercises splitstream: goroutine bodies — literal `go`
+// statements and closures handed to concurrent runners — must not
+// capture shared rng sources or loop variables, nor range over maps.
+package a
+
+import (
+	"sync"
+
+	"bcache/internal/lint/testdata/src/splitstream/rng"
+)
+
+// Run launches fn on n goroutines. The fn parameter is referenced
+// under a go statement, so Run is a concurrent runner and exports a
+// concurrentRunner fact for parameter 1.
+func Run(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// sharedStream is the classic nondeterminism bug: every worker draws
+// from one stream, so values depend on scheduling, and the body closes
+// over the range variable instead of binding it.
+func sharedStream(src *rng.Source, shards []int) {
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = src.Uint64() // want `captures shared rng source src`
+			_ = s            // want `captures loop variable s`
+		}()
+	}
+	wg.Wait()
+}
+
+// splitStream is the sanctioned shape: each worker gets its own child
+// stream, derived outside the body, and the index arrives as a
+// parameter.
+func splitStream(src *rng.Source, shards []int) {
+	var wg sync.WaitGroup
+	for i := range shards {
+		wg.Add(1)
+		go func(child *rng.Source) {
+			defer wg.Done()
+			_ = child.Uint64()
+		}(src.Split(uint64(i)))
+	}
+	wg.Wait()
+}
+
+// splitInBody is also fine: the captured source is only ever a Split
+// receiver, which consumes no values from the parent stream.
+func splitInBody(src *rng.Source) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		child := src.Split(7)
+		_ = child.Uint64()
+	}()
+	<-done
+}
+
+// mapRange iterates a map inside a spawned body; iteration order is
+// per-goroutine nondeterministic.
+func mapRange(m map[int]int) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := range m { // want `ranges over a map`
+			_ = k
+		}
+	}()
+	<-done
+}
+
+// runnerClosure reaches the same bug through the runner: the closure
+// handed to Run is a goroutine body by the concurrentRunner fact.
+func runnerClosure(src *rng.Source) {
+	Run(2, func(i int) {
+		_ = src.Uint64() // want `captures shared rng source src`
+	})
+}
+
+// runnerSplit is the compliant runner use.
+func runnerSplit(src *rng.Source) {
+	Run(2, func(i int) {
+		child := src.Split(uint64(i))
+		_ = child.Uint64()
+	})
+}
+
+// audited keeps a shared stream on purpose, with the review recorded.
+func audited(src *rng.Source) {
+	Run(1, func(i int) {
+		//bcachelint:allow splitstream(fixture: single worker, draws are sequential by construction)
+		_ = src.Uint64()
+	})
+}

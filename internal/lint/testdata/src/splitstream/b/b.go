@@ -1,0 +1,23 @@
+// Package b is the cross-package half of the splitstream fixture: the
+// closure below never appears near a `go` statement here — only the
+// concurrentRunner fact exported by package a marks it as a goroutine
+// body.
+package b
+
+import (
+	"bcache/internal/lint/testdata/src/splitstream/a"
+	"bcache/internal/lint/testdata/src/splitstream/rng"
+)
+
+func crossRunner(shared *rng.Source) {
+	a.Run(4, func(i int) {
+		_ = shared.Uint64() // want `captures shared rng source shared`
+	})
+}
+
+func crossRunnerSplit(shared *rng.Source) {
+	a.Run(4, func(i int) {
+		child := shared.Split(uint64(i))
+		_ = child.Uint64()
+	})
+}

@@ -1,0 +1,19 @@
+// Package rng is the splitstream fixture's stand-in for
+// bcache/internal/rng: the analyzer matches any Source/Rand type from a
+// package whose import path ends in "rng".
+package rng
+
+// Source is a trivially deterministic stream.
+type Source struct{ s uint64 }
+
+// New seeds a source.
+func New(seed uint64) *Source { return &Source{s: seed} }
+
+// Split derives an independent child stream without consuming values.
+func (r *Source) Split(stream uint64) *Source { return &Source{s: r.s ^ (stream + 1)} }
+
+// Uint64 draws the next value.
+func (r *Source) Uint64() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s
+}

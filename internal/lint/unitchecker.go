@@ -16,8 +16,14 @@ import (
 // the tool once per compilation unit with a JSON config file argument,
 // after two handshakes (`-V=full` for the tool's build ID, `-flags` for
 // its flag set). Diagnostics go to stderr as file:line:col text and a
-// non-zero exit marks findings; the fact file named by VetxOutput must
-// be created even though this suite uses no cross-package facts.
+// non-zero exit marks findings. The fact file named by VetxOutput must
+// always be created; for in-module units it carries the real bcachelint
+// facts (see facts.go), which the go command hands back to dependent
+// units through PackageVetx — that is how a vet run checks cross-package
+// callers of exported ...Locked helpers, atomic fields, and runners.
+// Dependency units arrive with VetxOnly set: facts are computed and
+// written, diagnostics are suppressed (the unit gets its own full run
+// when it is itself a target).
 
 // vetConfig mirrors the fields of the go command's vet.cfg this tool
 // consumes; unknown fields are ignored by encoding/json. The tags
@@ -32,6 +38,7 @@ type vetConfig struct {
 	NonGoFiles  []string          `json:"NonGoFiles"`
 	ImportMap   map[string]string `json:"ImportMap"`
 	PackageFile map[string]string `json:"PackageFile"`
+	PackageVetx map[string]string `json:"PackageVetx"`
 	VetxOnly    bool              `json:"VetxOnly"`
 	VetxOutput  string            `json:"VetxOutput"`
 	// SucceedOnTypecheckFailure is set by `go vet` so packages that do
@@ -90,15 +97,33 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 	if err := json.Unmarshal(data, &cfg); err != nil {
 		return 1, fmt.Errorf("parsing %s: %w", cfgPath, err)
 	}
+	base := basePkgPath(cfg.ImportPath)
+	store := newFactStore()
 	// The go command requires the fact file to exist afterwards, even
-	// for units we have nothing to say about.
+	// for units we have nothing to say about; write the empty encoding
+	// now so every early return leaves a valid (fact-free) file, and
+	// overwrite it with the real facts once analysis has produced them.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte("bcachelint-no-facts\n"), 0o666); err != nil {
+		if err := os.WriteFile(cfg.VetxOutput, store.encode(base), 0o666); err != nil {
 			return 1, err
 		}
 	}
-	if cfg.VetxOnly {
+	// Only in-module units are analyzed; running the suite over the
+	// whole stdlib dependency closure would be slow and pointless — no
+	// bcachelint invariant mentions foreign code.
+	if !factsInScope(base) {
 		return 0, nil
+	}
+	// Facts exported by this unit's in-module dependencies, already
+	// computed by their own vet invocations.
+	for dep, vetx := range cfg.PackageVetx {
+		depBase := basePkgPath(dep)
+		if !factsInScope(depBase) {
+			continue
+		}
+		if depData, err := os.ReadFile(vetx); err == nil {
+			store.decodeInto(depBase, depData)
+		}
 	}
 
 	fset := token.NewFileSet()
@@ -129,6 +154,7 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 		pkg:     pkg,
 		info:    info,
 		pkgPath: cfg.ImportPath,
+		facts:   store,
 		// Only the test variant sees every file of a package that has
 		// tests; the plain unit defers whole-package checks to it (see
 		// Pass.Complete). A unit whose files include no _test.go and
@@ -145,6 +171,16 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 		}
 		return 1, err
 	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, store.encode(base), 0o666); err != nil {
+			return 1, err
+		}
+	}
+	if cfg.VetxOnly {
+		// A dependency unit: facts are the product, diagnostics belong
+		// to the unit's own run when it is itself a vet target.
+		return 0, nil
+	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d.String())
 	}
@@ -152,4 +188,10 @@ func runUnit(cfgPath string, analyzers []*Analyzer) (int, error) {
 		return 2, nil
 	}
 	return 0, nil
+}
+
+// factsInScope reports whether base (an undecorated import path) is an
+// in-module package the analyzers should run on and export facts for.
+func factsInScope(base string) bool {
+	return base == "bcache" || strings.HasPrefix(base, "bcache/")
 }

@@ -50,6 +50,7 @@ func NewServer(addr string, reg *Registry, progress func() any) (*Server, error)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 
 	s.srv = &http.Server{Handler: mux}
+	//bcachelint:allow goroutinelife(joined via the done channel: Close shuts the http.Server down and then receives on s.done before returning)
 	go func() {
 		defer close(s.done)
 		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {

@@ -99,10 +99,10 @@ const DefaultCapacity = 64 << 10
 type Journal struct {
 	mu       sync.Mutex
 	clock    Clock
-	ring     []Span
-	start, n int
-	recorded uint64
-	dropped  uint64
+	ring     []Span // guarded by mu
+	start, n int    // guarded by mu
+	recorded uint64 // guarded by mu
+	dropped  uint64 // guarded by mu
 }
 
 // NewJournal returns a journal holding at most capacity spans
